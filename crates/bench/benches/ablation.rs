@@ -1,0 +1,207 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **padding** — padded leading dimension vs tight rows ("padding flops
+//!   come for free", Sec. III-A),
+//! * **fusion** — one wide fused-dimension GEMM vs a loop of narrow slice
+//!   GEMMs for the y-derivative (Fig. 7),
+//! * **transpose** — the AoS↔AoSoA layout conversion cost (Sec. V-B),
+//! * **userfun** — vectorized vs pointwise elastic flux on an x-line
+//!   (Fig. 8).
+
+use aderdg_gemm::{Gemm, GemmSpec};
+use aderdg_pde::{Elastic, LinearPde, Material};
+use aderdg_tensor::{aos_to_aosoa, aosoa_to_aos, DofLayout, SimdWidth};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn rand_vec(len: usize, mut seed: u64) -> Vec<f64> {
+    (0..len)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+fn bench_padding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_padding");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    // m = 21: tight rows (ld 21, unaligned vector tails) vs padded (ld 24).
+    let n = 8;
+    for (label, ld) in [("tight_ld21", 21usize), ("padded_ld24", 24)] {
+        let spec = GemmSpec {
+            m: n,
+            n: 21,
+            k: n,
+            lda: n,
+            ldb: ld,
+            ldc: ld,
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        let a = rand_vec(n * n, 1);
+        let b = rand_vec(n * ld, 2);
+        let mut out = vec![0.0; n * ld];
+        let plan = Gemm::new(spec);
+        group.bench_function(label, |bch| bch.iter(|| plan.execute(&a, &b, &mut out)));
+    }
+    // Padded *and* computing the padding columns (n = 24 columns): the
+    // paper's actual choice — full vectors, no masking.
+    let spec = GemmSpec::dense(n, 24, n);
+    let a = rand_vec(n * n, 1);
+    let b = rand_vec(n * 24, 2);
+    let mut out = vec![0.0; n * 24];
+    let plan = Gemm::new(spec);
+    group.bench_function("padded_compute_pad_cols", |bch| {
+        bch.iter(|| plan.execute(&a, &b, &mut out))
+    });
+    group.finish();
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fusion");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    // y-derivative over an n³ AoS tensor: fused (one GEMM of width n·m_pad
+    // per k3) vs unfused (n separate GEMMs of width m_pad).
+    let n = 8usize;
+    let m_pad = 24usize;
+    let vol = n * n * n * m_pad;
+    let d = rand_vec(n * n, 3);
+    let src = rand_vec(vol, 4);
+    let mut dst = vec![0.0; vol];
+
+    let fused = Gemm::new(GemmSpec {
+        m: n,
+        n: n * m_pad,
+        k: n,
+        lda: n,
+        ldb: n * m_pad,
+        ldc: n * m_pad,
+        alpha: 1.0,
+        beta: 0.0,
+    });
+    group.bench_function(BenchmarkId::new("fused", n), |bch| {
+        bch.iter(|| {
+            for k3 in 0..n {
+                fused.execute_offset(&d, 0, &src, k3 * n * n * m_pad, &mut dst, k3 * n * n * m_pad);
+            }
+        })
+    });
+
+    let unfused = Gemm::new(GemmSpec {
+        m: n,
+        n: m_pad,
+        k: n,
+        lda: n,
+        ldb: n * m_pad,
+        ldc: n * m_pad,
+        alpha: 1.0,
+        beta: 0.0,
+    });
+    group.bench_function(BenchmarkId::new("unfused", n), |bch| {
+        bch.iter(|| {
+            for k3 in 0..n {
+                for k1 in 0..n {
+                    let off = k3 * n * n * m_pad + k1 * m_pad;
+                    unfused.execute_offset(&d, 0, &src, off, &mut dst, off);
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_transpose");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for n in [6usize, 9] {
+        let aos = DofLayout::aos(n, 21, SimdWidth::W8);
+        let aosoa = DofLayout::aosoa(n, 21, SimdWidth::W8);
+        let src = rand_vec(aos.len(), 5);
+        let mut hybrid = vec![0.0; aosoa.len()];
+        let mut back = vec![0.0; aos.len()];
+        group.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |bch, _| {
+            bch.iter(|| {
+                aos_to_aosoa(&src, &aos, &mut hybrid, &aosoa);
+                aosoa_to_aos(&hybrid, &aosoa, &mut back, &aos);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_userfun(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_userfun");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    // One x-line of n = 8 nodes, m = 21 quantities: vectorized SoA call
+    // (Fig. 8) vs pointwise AoS loop.
+    let pde = Elastic;
+    let n = 8usize;
+    let stride = 8usize;
+    let m = 21usize;
+    let mat = Material {
+        rho: 2.7,
+        cp: 6.0,
+        cs: 3.46,
+    };
+    // SoA block.
+    let mut q_soa = vec![0.0; m * stride];
+    for i in 0..n {
+        let mut node = vec![0.0; m];
+        for (s, v) in node.iter_mut().enumerate().take(9) {
+            *v = (s * 3 + i) as f64 * 0.01;
+        }
+        Elastic::set_params(&mut node, mat, &Elastic::IDENTITY_JAC);
+        for s in 0..m {
+            q_soa[s * stride + i] = node[s];
+        }
+    }
+    let mut f_soa = vec![0.0; m * stride];
+    group.bench_function("vectorized_xline", |bch| {
+        bch.iter(|| {
+            for d in 0..3 {
+                pde.flux_vect(d, &q_soa, &mut f_soa, n, stride);
+            }
+        })
+    });
+    // Pointwise on the same data (AoS gather).
+    let mut q_aos = vec![0.0; n * m];
+    for i in 0..n {
+        for s in 0..m {
+            q_aos[i * m + s] = q_soa[s * stride + i];
+        }
+    }
+    let mut f_aos = vec![0.0; n * m];
+    group.bench_function("pointwise_loop", |bch| {
+        bch.iter(|| {
+            for d in 0..3 {
+                for i in 0..n {
+                    let (qs, fs) = (&q_aos[i * m..(i + 1) * m], &mut f_aos[i * m..(i + 1) * m]);
+                    pde.flux(d, qs, fs);
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_padding,
+    bench_fusion,
+    bench_transpose,
+    bench_userfun
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Calibration helper: raw cache-simulator statistics per variant/order,
+//! used to pick the MachineModel parameters (documented in DESIGN.md §6).
+
+use aderdg_bench::M_ELASTIC;
+use aderdg_core::mix::{stp_pack_counts, stp_useful_flops, UserFunctionCost};
+use aderdg_core::traces::trace_batch;
+use aderdg_core::{KernelVariant, StpConfig, StpPlan};
+use aderdg_perf::{CacheSim, MachineModel};
+
+fn main() {
+    let machine = MachineModel::skylake_sp();
+    println!(
+        "{:>6} {:>16} {:>10} {:>10} {:>10} {:>10} {:>12} {:>8}",
+        "order", "variant", "l1acc", "l2hit", "l3hit", "dram", "flops", "stall%"
+    );
+    for order in [4usize, 6, 8, 10, 11] {
+        let plan = StpPlan::new(StpConfig::new(order, M_ELASTIC), [1.0; 3]);
+        for variant in KernelVariant::ALL {
+            let mut sim = CacheSim::skylake_sp();
+            trace_batch(&plan, variant, false, 1, &mut sim);
+            sim.reset_stats();
+            let cells = 4;
+            trace_batch(&plan, variant, false, cells, &mut sim);
+            let s = sim.stats();
+            let flops = stp_useful_flops(&plan, UserFunctionCost::elastic()) * cells as u64;
+            let mix =
+                stp_pack_counts(&plan, variant, UserFunctionCost::elastic()).scale(cells as u64);
+            println!(
+                "{:>6} {:>16} {:>10} {:>10} {:>10} {:>10} {:>12} {:>7.1}%",
+                order,
+                variant.name(),
+                s.l1.accesses(),
+                s.l2.hits,
+                s.l3.hits,
+                s.dram,
+                flops,
+                machine.stall_fraction_mix(&s, &mix) * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 10: available performance and memory-stall fraction of all four
+//! kernel variants, orders 4..11 (paper Sec. VI-B).
+//!
+//! Expected shape (paper): generic plateaus ≈ 3.8 %; LoG constrained by
+//! stalls from order 6; both SplitCK variants keep improving with order,
+//! AoSoA SplitCK on top (22.5 % at order 11 on SuperMUC-NG — a 6× speedup
+//! over generic).
+
+use aderdg_bench::{calibrated_peak_gflops, measure_stp, paper_orders, print_header, print_row};
+use aderdg_core::KernelVariant;
+use aderdg_tensor::SimdWidth;
+
+fn main() {
+    println!(
+        "calibrated host peak: {:.2} GFlop/s (single core)",
+        calibrated_peak_gflops()
+    );
+    print_header("Fig. 10 — all four STP variants, elastic m = 21");
+    let mut by_order = Vec::new();
+    for order in paper_orders() {
+        let mut row = Vec::new();
+        for variant in KernelVariant::ALL {
+            let m = measure_stp(variant, order, SimdWidth::W8, 4, 5);
+            print_row(&m);
+            row.push(m);
+        }
+        by_order.push(row);
+    }
+    println!("\n{:>6} {:>26}", "order", "AoSoA SplitCK vs generic");
+    for row in &by_order {
+        let speedup = row[0].seconds_per_cell / row[3].seconds_per_cell;
+        println!("{:>6} {speedup:>25.2}x", row[0].order);
+    }
+    println!("\npaper: ~6x at order 11; SplitCK variants keep growing with order");
+}

@@ -1,0 +1,41 @@
+//! Figure 9: SIMD instruction-mix (fraction of FLOPs executed scalar /
+//! 128-bit / 256-bit / 512-bit) for the four kernel variants at orders
+//! 4..11 (paper Sec. VI-A).
+//!
+//! Expected shape (paper): generic mostly scalar; LoG and SplitCK > 80 %
+//! packed with ≈ 10 % scalar (pointwise user functions); AoSoA SplitCK
+//! 2–4 % scalar (vectorized user functions).
+
+use aderdg_bench::{paper_orders, M_ELASTIC};
+use aderdg_core::mix::{full_step_pack_counts, UserFunctionCost};
+use aderdg_core::{KernelVariant, StpConfig, StpPlan};
+use aderdg_tensor::SimdWidth;
+
+fn main() {
+    println!("=== Fig. 9 — instruction mix (fraction of flops per pack width) ===");
+    println!("(whole application per cell-step: predictor + corrector + Riemann)");
+    println!(
+        "{:>6} {:>18} {:>9} {:>9} {:>9} {:>9}",
+        "order", "variant", "scalar", "128-bit", "256-bit", "512-bit"
+    );
+    let cost = UserFunctionCost::elastic();
+    for order in paper_orders() {
+        let plan = StpPlan::new(
+            StpConfig::new(order, M_ELASTIC).with_width(SimdWidth::W8),
+            [1.0; 3],
+        );
+        for variant in KernelVariant::ALL {
+            let f = full_step_pack_counts(&plan, variant, cost).fractions();
+            println!(
+                "{:>6} {:>18} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+                order,
+                variant.name(),
+                f[0] * 100.0,
+                f[1] * 100.0,
+                f[2] * 100.0,
+                f[3] * 100.0
+            );
+        }
+    }
+    println!("\npaper: generic mostly scalar; LoG/SplitCK ~10% scalar; AoSoA 2-4% scalar");
+}

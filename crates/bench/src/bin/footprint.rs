@@ -1,0 +1,40 @@
+//! Footprint table (paper Sec. IV-A, text): temporary storage of the
+//! generic/LoG algorithm vs SplitCK across orders, the analytic formulas
+//! against the actually-allocated scratch, and the L2-overflow order.
+
+use aderdg_bench::M_ELASTIC;
+use aderdg_core::{KernelVariant, StpConfig, StpPlan, StpScratch};
+use aderdg_perf::footprint;
+
+fn main() {
+    println!("=== Temporary-memory footprint, m = {M_ELASTIC} (and the paper's m = 25) ===");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>16} {:>10}",
+        "order", "generic(formula)", "generic(actual)", "split(formula)", "split(actual)", "ratio"
+    );
+    for order in 2..=12 {
+        let plan = StpPlan::new(StpConfig::new(order, M_ELASTIC), [1.0; 3]);
+        let gen_actual = StpScratch::new(KernelVariant::Generic, &plan).footprint_bytes();
+        let split_actual = StpScratch::new(KernelVariant::SplitCk, &plan).footprint_bytes();
+        let gen_f = footprint::generic_temporaries_bytes(order, M_ELASTIC);
+        let split_f = footprint::splitck_temporaries_bytes(order, M_ELASTIC);
+        println!(
+            "{:>6} {:>13.0} KiB {:>13.0} KiB {:>13.0} KiB {:>13.0} KiB {:>9.1}x",
+            order,
+            gen_f as f64 / 1024.0,
+            gen_actual as f64 / 1024.0,
+            split_f as f64 / 1024.0,
+            split_actual as f64 / 1024.0,
+            gen_actual as f64 / split_actual as f64
+        );
+    }
+    for m in [M_ELASTIC, 25] {
+        match footprint::l2_overflow_order(m, 1024 * 1024) {
+            Some(n) => println!(
+                "\nm = {m}: generic temporaries exceed the 1 MiB L2 from order N = {n}"
+            ),
+            None => println!("\nm = {m}: no overflow up to order 32"),
+        }
+    }
+    println!("paper (m = 25): \"the 1 MB limit will be exceeded as soon as N = 6\"");
+}

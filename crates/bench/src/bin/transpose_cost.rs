@@ -1,0 +1,80 @@
+//! Transpose-overhead measurement (paper Sec. V-B): the AoS↔AoSoA entry
+//! and exit transposes of the AoSoA kernel are claimed to cost little
+//! compared to the kernel itself, and far less than on-the-fly AoS↔SoA
+//! transposes around every user-function call (Sec. V-A, the rejected
+//! alternative).
+
+use aderdg_bench::{elastic_state, paper_orders, M_ELASTIC};
+use aderdg_core::{StpConfig, StpPlan};
+use aderdg_core::kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
+use aderdg_core::KernelVariant;
+use aderdg_pde::Elastic;
+use aderdg_tensor::{aos_to_aosoa, aosoa_to_aos, SimdWidth};
+use std::time::Instant;
+
+fn time_it(mut f: impl FnMut(), reps: usize) -> f64 {
+    f(); // warm up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    println!("=== AoS<->AoSoA transpose cost vs kernel cost (Sec. V-B) ===");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>22}",
+        "order", "transpose", "AoSoA kernel", "share", "on-the-fly estimate"
+    );
+    for order in paper_orders() {
+        let plan = StpPlan::new(
+            StpConfig::new(order, M_ELASTIC).with_width(SimdWidth::W8),
+            [0.1; 3],
+        );
+        let q0 = elastic_state(&plan, 7);
+        let mut hybrid = vec![0.0; plan.aosoa.len()];
+        let mut back = vec![0.0; plan.aos.len()];
+
+        // One entry + one exit transpose (what the kernel actually adds).
+        let t_trans = time_it(
+            || {
+                aos_to_aosoa(&q0, &plan.aos, &mut hybrid, &plan.aosoa);
+                aosoa_to_aos(&hybrid, &plan.aosoa, &mut back, &plan.aos);
+            },
+            20,
+        );
+
+        let pde = Elastic;
+        let mut scratch = StpScratch::new(KernelVariant::AoSoASplitCk, &plan);
+        let mut out = StpOutputs::new(&plan);
+        let t_kernel = time_it(
+            || {
+                run_stp(
+                    &plan,
+                    &pde,
+                    &mut scratch,
+                    &StpInputs {
+                        q0: &q0,
+                        dt: 1e-3,
+                        source: None,
+                    },
+                    &mut out,
+                );
+            },
+            10,
+        );
+
+        // The rejected Sec. V-A alternative: a transpose pair around every
+        // user-function sweep — 3(N+1) flux sweeps per invocation.
+        let on_the_fly = t_trans * 3.0 * (order as f64 + 1.0);
+        println!(
+            "{order:>6} {:>11.1} µs {:>11.1} µs {:>11.1}% {:>19.1} µs",
+            t_trans * 1e6,
+            t_kernel * 1e6,
+            t_trans / t_kernel * 100.0,
+            on_the_fly * 1e6
+        );
+    }
+    println!("\npaper: entry/exit transposes are minor; per-call transposes are not");
+}

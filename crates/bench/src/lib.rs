@@ -1,0 +1,232 @@
+//! # aderdg-bench
+//!
+//! Shared measurement harness for the figure-regeneration binaries and the
+//! Criterion benches: elastic workload construction (the paper's m = 21
+//! configuration), wall-clock kernel timing against a calibrated peak,
+//! cache-simulated stall fractions, and instruction-mix evaluation.
+//!
+//! Every binary prints the same series the corresponding paper figure
+//! plots; see DESIGN.md §5 for the experiment index.
+
+use aderdg_core::kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
+use aderdg_core::mix::{stp_pack_counts, stp_useful_flops, UserFunctionCost};
+use aderdg_core::traces::trace_batch;
+use aderdg_core::{KernelVariant, StpConfig, StpPlan};
+use aderdg_gemm::Isa;
+use aderdg_pde::{Elastic, Material};
+use aderdg_perf::{measure_peak_gflops, CacheSim, MachineModel, PackCounts, PerfMeasurement};
+use aderdg_tensor::SimdWidth;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Quantities of the paper's elastic benchmark.
+pub const M_ELASTIC: usize = 21;
+
+/// Orders evaluated in the paper's figures.
+pub fn paper_orders() -> Vec<usize> {
+    match std::env::var("ADERDG_ORDERS") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect(),
+        Err(_) => (4..=11).collect(),
+    }
+}
+
+/// Host peak calibration, measured once per process (release builds).
+pub fn calibrated_peak_gflops() -> f64 {
+    static PEAK: OnceLock<f64> = OnceLock::new();
+    *PEAK.get_or_init(|| measure_peak_gflops(200))
+}
+
+/// Builds a reproducible random elastic state (mildly curvilinear metric,
+/// physical material) in the plan's padded AoS layout.
+pub fn elastic_state(plan: &StpPlan, seed: u64) -> Vec<f64> {
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((rng >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let m_pad = plan.aos.m_pad();
+    let mat = Material {
+        rho: 2.7,
+        cp: 6.0,
+        cs: 3.46,
+    };
+    let n = plan.n();
+    let mut q = vec![0.0; plan.aos.len()];
+    for k in 0..n * n * n {
+        for s in 0..9 {
+            q[k * m_pad + s] = next();
+        }
+        let mut jac = Elastic::IDENTITY_JAC;
+        jac[1] = 0.05 * next();
+        jac[5] = 0.05 * next();
+        Elastic::set_params(&mut q[k * m_pad..k * m_pad + M_ELASTIC], mat, &jac);
+    }
+    q
+}
+
+/// One measured configuration of the STP kernel.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Kernel variant.
+    pub variant: KernelVariant,
+    /// Scheme order.
+    pub order: usize,
+    /// SIMD width of the plan (padding + dispatch).
+    pub width: SimdWidth,
+    /// Wall-clock seconds per cell (median of repetitions).
+    pub seconds_per_cell: f64,
+    /// Useful GFlop/s achieved.
+    pub gflops: f64,
+    /// Fraction of the calibrated host peak.
+    pub available_fraction: f64,
+    /// Modelled memory-stall fraction (Skylake-SP cache hierarchy).
+    pub stall_fraction: f64,
+    /// Instruction-mix model (classified executed flops).
+    pub mix: PackCounts,
+    /// Temporary-buffer footprint in bytes.
+    pub footprint_bytes: usize,
+}
+
+/// Measures `variant` at `order` on the m = 21 elastic workload.
+///
+/// Wall-clock: a batch of `cells` predictor invocations on distinct input
+/// states with shared scratch (the production pattern), repeated `reps`
+/// times, median taken. Stalls: cache simulation of the same batch
+/// pattern. Mix: analytic classification.
+pub fn measure_stp(
+    variant: KernelVariant,
+    order: usize,
+    width: SimdWidth,
+    cells: usize,
+    reps: usize,
+) -> Measurement {
+    let cfg = StpConfig::new(order, M_ELASTIC).with_width(width);
+    let isa = match width {
+        SimdWidth::W2 => Isa::Baseline,
+        SimdWidth::W4 => Isa::Avx2,
+        SimdWidth::W8 => Isa::Avx512,
+    };
+    let plan = StpPlan::with_isa(cfg, [0.1; 3], isa);
+    let pde = Elastic;
+    let cost = UserFunctionCost::elastic();
+
+    let states: Vec<Vec<f64>> = (0..cells)
+        .map(|c| elastic_state(&plan, 0x9E37 + c as u64))
+        .collect();
+    let mut scratch = StpScratch::new(variant, &plan);
+    let mut out = StpOutputs::new(&plan);
+
+    // Warm-up.
+    for q0 in &states {
+        run_stp(
+            &plan,
+            &pde,
+            &mut scratch,
+            &StpInputs {
+                q0,
+                dt: 1e-3,
+                source: None,
+            },
+            &mut out,
+        );
+    }
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for q0 in &states {
+            run_stp(
+                &plan,
+                &pde,
+                &mut scratch,
+                &StpInputs {
+                    q0,
+                    dt: 1e-3,
+                    source: None,
+                },
+                &mut out,
+            );
+        }
+        times.push(t0.elapsed().as_secs_f64() / cells as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    let seconds_per_cell = times[times.len() / 2];
+
+    let useful = stp_useful_flops(&plan, cost);
+    let peak = calibrated_peak_gflops();
+    let perf = PerfMeasurement {
+        flops: useful,
+        seconds: seconds_per_cell,
+        peak_gflops: peak,
+    };
+
+    // Cache-simulated stalls (warm-up cell, then measured batch), with
+    // the compute denominator from the variant's instruction mix.
+    let machine = MachineModel::skylake_sp();
+    let mut sim = CacheSim::skylake_sp();
+    trace_batch(&plan, variant, false, 1, &mut sim);
+    sim.reset_stats();
+    let sim_cells = cells.max(2);
+    trace_batch(&plan, variant, false, sim_cells, &mut sim);
+    let mix = stp_pack_counts(&plan, variant, cost);
+    let stall = machine.stall_fraction_mix(&sim.stats(), &mix.scale(sim_cells as u64));
+
+    Measurement {
+        variant,
+        order,
+        width,
+        seconds_per_cell,
+        gflops: perf.gflops(),
+        available_fraction: perf.available_fraction(),
+        stall_fraction: stall,
+        mix: stp_pack_counts(&plan, variant, cost),
+        footprint_bytes: StpScratch::new(variant, &plan).footprint_bytes(),
+    }
+}
+
+/// Prints the standard figure table header.
+pub fn print_header(title: &str) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:>6} {:>18} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "order", "variant", "width", "time/cell", "GFlop/s", "avail%", "stall%"
+    );
+}
+
+/// Prints one measurement row.
+pub fn print_row(m: &Measurement) {
+    println!(
+        "{:>6} {:>18} {:>8} {:>10.2} µs {:>10.2} {:>9.1}% {:>9.1}%",
+        m.order,
+        m.variant.name(),
+        format!("{}b", m.width.bits()),
+        m.seconds_per_cell * 1e6,
+        m.gflops,
+        m.available_fraction * 100.0,
+        m.stall_fraction * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_smoke() {
+        let m = measure_stp(KernelVariant::SplitCk, 4, SimdWidth::W8, 2, 2);
+        assert!(m.seconds_per_cell > 0.0);
+        assert!(m.gflops > 0.0);
+        assert!(m.stall_fraction >= 0.0 && m.stall_fraction < 1.0);
+        assert!(m.mix.total() > 0);
+        assert!(m.footprint_bytes > 0);
+    }
+
+    #[test]
+    fn paper_orders_env_override() {
+        // Default covers the paper's range.
+        let o = paper_orders();
+        assert!(o.contains(&4) && o.contains(&11) || std::env::var("ADERDG_ORDERS").is_ok());
+    }
+}

@@ -1,0 +1,184 @@
+//! Projection of volume tensors onto element faces.
+//!
+//! Contracts the node index normal to a face with the boundary-evaluation
+//! vector `φ(0)` or `φ(1)`. The paper notes this is a single small
+//! matrix-matrix product with no further optimization head-room
+//! (Sec. II-B); we implement it once, shared by every kernel variant.
+//!
+//! Face-node ordering: x-faces use `(k3, k2)`, y-faces `(k3, k1)`,
+//! z-faces `(k2, k1)` — adjacent cells therefore index their shared face
+//! identically.
+
+use crate::plan::StpPlan;
+
+/// Projects the padded AoS volume tensor `vol` onto the face of normal
+/// dimension `d` and `side` (0 = lower, 1 = upper), writing the padded
+/// face tensor `out`.
+pub fn project_to_face(plan: &StpPlan, vol: &[f64], d: usize, side: usize, out: &mut [f64]) {
+    let n = plan.n();
+    let m = plan.m();
+    let m_pad = plan.aos.m_pad();
+    let mf_pad = plan.face.m_pad();
+    let phi = if side == 0 {
+        &plan.basis.phi_left
+    } else {
+        &plan.basis.phi_right
+    };
+    debug_assert!(vol.len() >= plan.aos.len());
+    debug_assert!(out.len() >= plan.face.len());
+    out[..plan.face.len()].fill(0.0);
+    match d {
+        0 => {
+            // Contract k1; face nodes (k3, k2).
+            for k3 in 0..n {
+                for k2 in 0..n {
+                    let fo = (k3 * n + k2) * mf_pad;
+                    let base = (k3 * n + k2) * n * m_pad;
+                    for (k1, &w) in phi.iter().enumerate() {
+                        let vo = base + k1 * m_pad;
+                        for s in 0..m {
+                            out[fo + s] += w * vol[vo + s];
+                        }
+                    }
+                }
+            }
+        }
+        1 => {
+            // Contract k2; face nodes (k3, k1).
+            for k3 in 0..n {
+                for (k2, &w) in phi.iter().enumerate() {
+                    let base = (k3 * n + k2) * n * m_pad;
+                    for k1 in 0..n {
+                        let fo = (k3 * n + k1) * mf_pad;
+                        let vo = base + k1 * m_pad;
+                        for s in 0..m {
+                            out[fo + s] += w * vol[vo + s];
+                        }
+                    }
+                }
+            }
+        }
+        _ => {
+            // Contract k3; face nodes (k2, k1).
+            for (k3, &w) in phi.iter().enumerate() {
+                for k2 in 0..n {
+                    let base = (k3 * n + k2) * n * m_pad;
+                    for k1 in 0..n {
+                        let fo = (k2 * n + k1) * mf_pad;
+                        let vo = base + k1 * m_pad;
+                        for s in 0..m {
+                            out[fo + s] += w * vol[vo + s];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{StpConfig, StpPlan};
+
+    fn plan(n: usize, m: usize) -> StpPlan {
+        StpPlan::new(StpConfig::new(n, m), [1.0; 3])
+    }
+
+    /// Fills a volume tensor with a separable polynomial field so the face
+    /// values are known analytically.
+    fn poly_volume(plan: &StpPlan, f: impl Fn(f64, f64, f64, usize) -> f64) -> Vec<f64> {
+        let n = plan.n();
+        let m = plan.m();
+        let m_pad = plan.aos.m_pad();
+        let x = &plan.basis.nodes;
+        let mut v = vec![0.0; plan.aos.len()];
+        for k3 in 0..n {
+            for k2 in 0..n {
+                for k1 in 0..n {
+                    for s in 0..m {
+                        v[((k3 * n + k2) * n + k1) * m_pad + s] = f(x[k1], x[k2], x[k3], s);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn projects_polynomial_boundary_values_exactly() {
+        let p = plan(5, 3);
+        // q(x, y, z; s) = (x² + s)(1 + y)(2 − z) — degree < n per dim.
+        let field =
+            |x: f64, y: f64, z: f64, s: usize| (x * x + s as f64) * (1.0 + y) * (2.0 - z);
+        let vol = poly_volume(&p, field);
+        let mf_pad = p.face.m_pad();
+        let nodes = p.basis.nodes.clone();
+        let mut out = vec![0.0; p.face.len()];
+
+        // x-lower face: x = 0, face nodes (k3, k2).
+        project_to_face(&p, &vol, 0, 0, &mut out);
+        for k3 in 0..5 {
+            for k2 in 0..5 {
+                for s in 0..3 {
+                    let want = field(0.0, nodes[k2], nodes[k3], s);
+                    let got = out[(k3 * 5 + k2) * mf_pad + s];
+                    assert!((got - want).abs() < 1e-11, "x0 {k3},{k2},{s}");
+                }
+            }
+        }
+        // y-upper face: y = 1, face nodes (k3, k1).
+        project_to_face(&p, &vol, 1, 1, &mut out);
+        for k3 in 0..5 {
+            for k1 in 0..5 {
+                for s in 0..3 {
+                    let want = field(nodes[k1], 1.0, nodes[k3], s);
+                    let got = out[(k3 * 5 + k1) * mf_pad + s];
+                    assert!((got - want).abs() < 1e-11, "y1 {k3},{k1},{s}");
+                }
+            }
+        }
+        // z-lower face: z = 0, face nodes (k2, k1).
+        project_to_face(&p, &vol, 2, 0, &mut out);
+        for k2 in 0..5 {
+            for k1 in 0..5 {
+                for s in 0..3 {
+                    let want = field(nodes[k1], nodes[k2], 0.0, s);
+                    let got = out[(k2 * 5 + k1) * mf_pad + s];
+                    assert!((got - want).abs() < 1e-11, "z0 {k2},{k1},{s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_field_projects_to_constant() {
+        let p = plan(4, 2);
+        let vol = poly_volume(&p, |_, _, _, s| 3.0 + s as f64);
+        let mut out = vec![0.0; p.face.len()];
+        for d in 0..3 {
+            for side in 0..2 {
+                project_to_face(&p, &vol, d, side, &mut out);
+                for node in 0..16 {
+                    for s in 0..2 {
+                        let got = out[node * p.face.m_pad() + s];
+                        assert!((got - (3.0 + s as f64)).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_lanes_stay_zero() {
+        let p = plan(3, 3);
+        let vol = poly_volume(&p, |x, _, _, _| x);
+        let mut out = vec![f64::NAN; p.face.len()];
+        project_to_face(&p, &vol, 0, 1, &mut out);
+        for node in 0..9 {
+            for s in 3..p.face.m_pad() {
+                assert_eq!(out[node * p.face.m_pad() + s], 0.0);
+            }
+        }
+    }
+}

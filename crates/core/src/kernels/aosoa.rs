@@ -1,0 +1,349 @@
+//! The AoSoA SplitCK predictor — paper Sec. V.
+//!
+//! Same dimension-split Cauchy-Kowalewsky algorithm as
+//! [`splitck`](crate::kernels::splitck), but on the hybrid
+//! Array-of-Struct-of-Array layout `A[k3][k2][s][k1]`:
+//!
+//! * the x-derivative becomes a *transposed* GEMM against the precomputed
+//!   padded `Dᵀ` (`Cᵀ = Bᵀ Aᵀ`, Sec. V-B case 1),
+//! * y/z-derivatives fuse the `(s, k1)` resp. `(k2, s, k1)` dimensions into
+//!   one wide GEMM operand (case 2, Fig. 7),
+//! * user functions receive whole x-lines as SoA chunks and run their
+//!   vectorized variants (Fig. 8) — this is what moves the ≈10 % scalar
+//!   user-function FLOPs of the other variants into packed instructions,
+//! * kernel inputs are transposed AoS → AoSoA on entry and outputs back on
+//!   exit, because the rest of the engine keeps the AoS API (Sec. V-B).
+
+use super::{project_faces, StpInputs, StpOutputs};
+use crate::plan::StpPlan;
+use aderdg_pde::LinearPde;
+use aderdg_tensor::{aos_to_aosoa, aosoa_to_aos, AlignedVec};
+
+/// Temporaries of the AoSoA kernel: the SplitCK working set in hybrid
+/// layout plus one buffer for the hybrid-layout time average.
+#[derive(Debug, Clone)]
+pub struct AosoaScratch {
+    /// Current Taylor term, AoSoA.
+    p: AlignedVec,
+    /// Next Taylor term, AoSoA.
+    ptemp: AlignedVec,
+    /// Flux tensor (reused across dimensions), AoSoA.
+    flux: AlignedVec,
+    /// Gradient tensor (ncp only), AoSoA.
+    grad_q: AlignedVec,
+    /// Time-averaged state in AoSoA (transposed to AoS on exit).
+    qavg_h: AlignedVec,
+}
+
+impl AosoaScratch {
+    /// Allocates the hybrid-layout working set.
+    pub fn new(plan: &StpPlan) -> Self {
+        let vol = plan.aosoa.len();
+        Self {
+            p: AlignedVec::zeroed(vol),
+            ptemp: AlignedVec::zeroed(vol),
+            flux: AlignedVec::zeroed(vol),
+            grad_q: AlignedVec::zeroed(vol),
+            qavg_h: AlignedVec::zeroed(vol),
+        }
+    }
+
+    /// Bytes of temporary storage.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.p.len() * 5) * 8
+    }
+}
+
+/// Derivative along `d` of an AoSoA tensor via the plan's hybrid GEMMs.
+pub(crate) fn derive_gemm_aosoa(
+    plan: &StpPlan,
+    d: usize,
+    src: &[f64],
+    dst: &mut [f64],
+    accumulate: bool,
+) {
+    let gemm = if accumulate {
+        &plan.gemm_aosoa_acc[d]
+    } else {
+        &plan.gemm_aosoa[d]
+    };
+    let (batches, stride) = plan.aosoa_batches(d);
+    if d == 0 {
+        // Transposed form: C(block) = A(block) · Dᵀ_padded.
+        for b in 0..batches {
+            gemm.execute_offset(src, b * stride, &plan.diff_t_padded, 0, dst, b * stride);
+        }
+    } else {
+        // Fused-dimension form: C(block) = D · B(block).
+        let diff = &plan.basis.diff;
+        for b in 0..batches {
+            gemm.execute_offset(diff, 0, src, b * stride, dst, b * stride);
+        }
+    }
+}
+
+/// Vectorized flux sweep: one user-function call per x-line (Sec. V-C).
+pub(crate) fn flux_vect_aosoa(
+    plan: &StpPlan,
+    pde: &dyn LinearPde,
+    d: usize,
+    src: &[f64],
+    dst: &mut [f64],
+) {
+    let n = plan.n();
+    let block = plan.m() * plan.aosoa.n_pad();
+    for plane in 0..n * n {
+        let off = plane * block;
+        pde.flux_vect(
+            d,
+            &src[off..off + block],
+            &mut dst[off..off + block],
+            n,
+            plan.aosoa.n_pad(),
+        );
+    }
+}
+
+/// Runs the AoSoA SplitCK predictor.
+pub fn stp_aosoa(
+    plan: &StpPlan,
+    pde: &dyn LinearPde,
+    scratch: &mut AosoaScratch,
+    inputs: &StpInputs<'_>,
+    out: &mut StpOutputs,
+) {
+    let n = plan.n();
+    let m = plan.m();
+    let vars = pde.num_vars();
+    let n_pad = plan.aosoa.n_pad();
+    let block = m * n_pad;
+    let has_ncp = pde.has_ncp();
+    let coef = plan.taylor(inputs.dt);
+
+    // Entry transpose AoS → AoSoA (Sec. V-B: cheaper than per-call
+    // on-the-fly transposes; the ablation bench quantifies it).
+    scratch.p.fill_zero();
+    aos_to_aosoa(inputs.q0, &plan.aos, &mut scratch.p, &plan.aosoa);
+
+    for (qa, pv) in scratch.qavg_h.iter_mut().zip(scratch.p.iter()) {
+        *qa = coef[0] * pv;
+    }
+
+    for o in 0..n {
+        scratch.ptemp.fill_zero();
+        for d in 0..3 {
+            flux_vect_aosoa(plan, pde, d, &scratch.p, &mut scratch.flux);
+            derive_gemm_aosoa(plan, d, &scratch.flux, &mut scratch.ptemp, true);
+            if has_ncp {
+                derive_gemm_aosoa(plan, d, &scratch.p, &mut scratch.grad_q, false);
+                // Vectorized ncp per x-line, accumulated into ptemp.
+                for plane in 0..n * n {
+                    let off = plane * block;
+                    // Reuse flux as the ncp output buffer for this plane.
+                    let (qs, gs) = (&scratch.p[off..off + block], &scratch.grad_q[off..off + block]);
+                    pde.ncp_vect(
+                        d,
+                        qs,
+                        gs,
+                        &mut scratch.flux[off..off + block],
+                        n,
+                        n_pad,
+                    );
+                    for (pv, nv) in scratch.ptemp[off..off + block]
+                        .iter_mut()
+                        .zip(&scratch.flux[off..off + block])
+                    {
+                        *pv += nv;
+                    }
+                }
+            }
+        }
+        if let Some(src) = inputs.source {
+            let amp = &src.derivs[o];
+            // node_coeffs are (k3, k2, k1)-ordered; address the AoSoA slot.
+            for k3 in 0..n {
+                for k2 in 0..n {
+                    for k1 in 0..n {
+                        let c = src.node_coeffs[(k3 * n + k2) * n + k1];
+                        let base = (k3 * n + k2) * block + k1;
+                        for (s, &a) in amp.iter().enumerate() {
+                            scratch.ptemp[base + s * n_pad] += c * a;
+                        }
+                    }
+                }
+            }
+        }
+        // Carry the material parameters along: in AoSoA the parameter rows
+        // of each (k3, k2) block are the contiguous runs s ∈ [vars, m).
+        {
+            let AosoaScratch { p, ptemp, .. } = scratch;
+            for plane in 0..n * n {
+                let off = plane * block + vars * n_pad;
+                let end = plane * block + m * n_pad;
+                ptemp[off..end].copy_from_slice(&p[off..end]);
+            }
+        }
+        std::mem::swap(&mut scratch.p, &mut scratch.ptemp);
+        let c = coef[o + 1];
+        for (qa, pv) in scratch.qavg_h.iter_mut().zip(scratch.p.iter()) {
+            *qa += c * pv;
+        }
+    }
+
+    // q̄ carries the original parameters (restore in hybrid layout before
+    // the flux recomputation; `p` still holds them after the last swap).
+    {
+        let AosoaScratch { p, qavg_h, .. } = scratch;
+        for plane in 0..n * n {
+            let off = plane * block + vars * n_pad;
+            let end = plane * block + m * n_pad;
+            qavg_h[off..end].copy_from_slice(&p[off..end]);
+        }
+    }
+
+    // Exit transposes: q̄ and the recomputed time-averaged fluxes back to
+    // the engine's AoS layout.
+    out.qavg.fill_zero();
+    aosoa_to_aos(&scratch.qavg_h, &plan.aosoa, &mut out.qavg, &plan.aos);
+    for d in 0..3 {
+        flux_vect_aosoa(plan, pde, d, &scratch.qavg_h, &mut scratch.flux);
+        out.favg[d].fill_zero();
+        aosoa_to_aos(&scratch.flux, &plan.aosoa, &mut out.favg[d], &plan.aos);
+    }
+
+    project_faces(plan, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::generic::{stp_generic, GenericScratch};
+    use crate::plan::{CellSource, StpConfig};
+    use aderdg_pde::{Acoustic, AdvectionNcpSystem, AdvectionSystem, Elastic, LinearPde, Material};
+
+    fn random_state(plan: &StpPlan, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let m = plan.m();
+        let m_pad = plan.aos.m_pad();
+        let mut q = vec![0.0; plan.aos.len()];
+        for k in 0..plan.n().pow(3) {
+            for s in 0..m {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                q[k * m_pad + s] = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            }
+        }
+        q
+    }
+
+    fn compare_with_generic(
+        plan: &StpPlan,
+        pde: &dyn LinearPde,
+        q0: &[f64],
+        source: Option<&CellSource>,
+        tol: f64,
+    ) {
+        let inputs = StpInputs {
+            q0,
+            dt: 0.01,
+            source,
+        };
+        let mut out_g = StpOutputs::new(plan);
+        stp_generic(plan, pde, &mut GenericScratch::new(plan), &inputs, &mut out_g);
+        let mut out_h = StpOutputs::new(plan);
+        stp_aosoa(plan, pde, &mut AosoaScratch::new(plan), &inputs, &mut out_h);
+        for (i, (a, b)) in out_h.qavg.iter().zip(out_g.qavg.iter()).enumerate() {
+            assert!((a - b).abs() < tol * (1.0 + b.abs()), "qavg[{i}]: {a} vs {b}");
+        }
+        for d in 0..3 {
+            for (i, (a, b)) in out_h.favg[d].iter().zip(out_g.favg[d].iter()).enumerate() {
+                assert!((a - b).abs() < tol * (1.0 + b.abs()), "favg{d}[{i}]: {a} vs {b}");
+            }
+        }
+        for f in 0..6 {
+            for (a, b) in out_h.qface[f].iter().zip(out_g.qface[f].iter()) {
+                assert!((a - b).abs() < tol * (1.0 + b.abs()));
+            }
+            for (a, b) in out_h.fface[f].iter().zip(out_g.fface[f].iter()) {
+                assert!((a - b).abs() < tol * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn aosoa_matches_generic_advection() {
+        for (n, m) in [(3, 2), (5, 6), (8, 3)] {
+            let plan = StpPlan::new(StpConfig::new(n, m), [1.25, 1.0, 0.8]);
+            let pde = AdvectionSystem::new(m, [-0.4, 0.7, 0.3]);
+            let q0 = random_state(&plan, (7 * n + m) as u64);
+            compare_with_generic(&plan, &pde, &q0, None, 1e-11);
+        }
+    }
+
+    #[test]
+    fn aosoa_matches_generic_ncp() {
+        let plan = StpPlan::new(StpConfig::new(4, 3), [1.0; 3]);
+        let pde = AdvectionNcpSystem::new(3, [0.6, -0.1, 0.9]);
+        let q0 = random_state(&plan, 21);
+        compare_with_generic(&plan, &pde, &q0, None, 1e-11);
+    }
+
+    #[test]
+    fn aosoa_matches_generic_acoustic() {
+        let plan = StpPlan::new(StpConfig::new(5, 6), [1.0; 3]);
+        let pde = Acoustic;
+        let mut q0 = random_state(&plan, 3);
+        let m_pad = plan.aos.m_pad();
+        for k in 0..125 {
+            q0[k * m_pad + 4] = 1.1 + 0.02 * (k % 7) as f64;
+            q0[k * m_pad + 5] = 2.5;
+        }
+        compare_with_generic(&plan, &pde, &q0, None, 1e-11);
+    }
+
+    #[test]
+    fn aosoa_matches_generic_elastic_21_quantities() {
+        // The paper's benchmark configuration: m = 21, curvilinear metric.
+        let plan = StpPlan::new(StpConfig::new(4, 21), [1.0; 3]);
+        let pde = Elastic;
+        let mut q0 = random_state(&plan, 17);
+        let m_pad = plan.aos.m_pad();
+        let mat = Material {
+            rho: 2.7,
+            cp: 6.0,
+            cs: 3.46,
+        };
+        for k in 0..64 {
+            let mut jac = Elastic::IDENTITY_JAC;
+            // Mildly curvilinear, per-node varying metric.
+            jac[1] = 0.05 * ((k % 5) as f64 - 2.0);
+            jac[5] = 0.03 * ((k % 3) as f64 - 1.0);
+            Elastic::set_params(&mut q0[k * m_pad..k * m_pad + 21], mat, &jac);
+        }
+        compare_with_generic(&plan, &pde, &q0, None, 1e-10);
+    }
+
+    #[test]
+    fn aosoa_matches_generic_with_point_source() {
+        let plan = StpPlan::new(StpConfig::new(4, 2), [1.0; 3]);
+        let pde = AdvectionSystem::new(2, [0.2, 0.5, -0.7]);
+        let q0 = random_state(&plan, 31);
+        let derivs: Vec<Vec<f64>> = (0..=4)
+            .map(|o| vec![0.1 * (o as f64 + 1.0), -0.05 * o as f64])
+            .collect();
+        let src = CellSource::project(&plan, [0.7, 0.2, 0.4], [1.0; 3], derivs);
+        compare_with_generic(&plan, &pde, &q0, Some(&src), 1e-11);
+    }
+
+    #[test]
+    fn footprint_comparable_to_splitck() {
+        use crate::kernels::splitck::SplitCkScratch;
+        let plan = StpPlan::new(StpConfig::new(8, 21), [1.0; 3]);
+        let h = AosoaScratch::new(&plan).footprint_bytes();
+        let s = SplitCkScratch::new(&plan).footprint_bytes();
+        // Same O(N³m) class; ratio bounded by padding differences.
+        let ratio = h as f64 / s as f64;
+        assert!(ratio > 0.5 && ratio < 3.0, "ratio={ratio}");
+    }
+}

@@ -1,0 +1,129 @@
+//! The four Space-Time Predictor kernel variants.
+//!
+//! All variants share one contract: given the cell's current DOFs (padded
+//! AoS), the time step, and an optional projected point source, produce
+//!
+//! * `qavg` — the time-integrated state `q̄ = ∫ q dt` (eq. 4),
+//! * `favg[d]` — the time-integrated flux tensors `F̄_d = F_d(q̄)`
+//!   (linearity, Sec. IV-B),
+//! * `qface`, `fface` — `q̄` and the normal flux projected onto the six
+//!   faces (inputs of the corrector / Riemann solve, Sec. II-B).
+//!
+//! The variants differ only in algorithm and data layout — which is the
+//! paper's entire subject — and must agree to floating-point tolerance,
+//! which the equivalence tests enforce.
+
+pub mod aosoa;
+pub mod generic;
+pub mod log;
+pub mod onthefly;
+pub mod splitck;
+
+use crate::faceproj;
+use crate::plan::{CellSource, KernelVariant, StpPlan};
+use aderdg_pde::LinearPde;
+use aderdg_tensor::AlignedVec;
+
+/// Inputs of one predictor invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct StpInputs<'a> {
+    /// Current DOFs in padded AoS layout (`plan.aos`).
+    pub q0: &'a [f64],
+    /// Time-step length.
+    pub dt: f64,
+    /// Point source projected onto this cell, if any.
+    pub source: Option<&'a CellSource>,
+}
+
+/// Outputs of one predictor invocation (buffers owned by the caller and
+/// reused across cells).
+#[derive(Debug, Clone)]
+pub struct StpOutputs {
+    /// Time-integrated DOFs, padded AoS.
+    pub qavg: AlignedVec,
+    /// Time-integrated flux tensor per dimension, padded AoS.
+    pub favg: [AlignedVec; 3],
+    /// `q̄` projected onto the six faces (−x, +x, −y, +y, −z, +z).
+    pub qface: [AlignedVec; 6],
+    /// Normal time-integrated flux projected onto the six faces.
+    pub fface: [AlignedVec; 6],
+}
+
+impl StpOutputs {
+    /// Allocates zeroed output buffers matching `plan`.
+    pub fn new(plan: &StpPlan) -> Self {
+        let vol = plan.aos.len();
+        let face = plan.face.len();
+        Self {
+            qavg: AlignedVec::zeroed(vol),
+            favg: std::array::from_fn(|_| AlignedVec::zeroed(vol)),
+            qface: std::array::from_fn(|_| AlignedVec::zeroed(face)),
+            fface: std::array::from_fn(|_| AlignedVec::zeroed(face)),
+        }
+    }
+}
+
+/// Reusable scratch buffers, variant-specific (their sizes *are* the
+/// memory-footprint story of the paper).
+#[derive(Debug, Clone)]
+pub enum StpScratch {
+    /// Scratch of [`generic::stp_generic`].
+    Generic(generic::GenericScratch),
+    /// Scratch of [`log::stp_log`].
+    LoG(log::LogScratch),
+    /// Scratch of [`splitck::stp_splitck`].
+    SplitCk(splitck::SplitCkScratch),
+    /// Scratch of [`aosoa::stp_aosoa`].
+    AoSoA(aosoa::AosoaScratch),
+}
+
+impl StpScratch {
+    /// Allocates scratch for `variant` under `plan`.
+    pub fn new(variant: KernelVariant, plan: &StpPlan) -> Self {
+        match variant {
+            KernelVariant::Generic => StpScratch::Generic(generic::GenericScratch::new(plan)),
+            KernelVariant::LoG => StpScratch::LoG(log::LogScratch::new(plan)),
+            KernelVariant::SplitCk => StpScratch::SplitCk(splitck::SplitCkScratch::new(plan)),
+            KernelVariant::AoSoASplitCk => StpScratch::AoSoA(aosoa::AosoaScratch::new(plan)),
+        }
+    }
+
+    /// Total bytes of temporary storage this variant allocated — the
+    /// measured counterpart of the Sec. IV-A footprint formulas.
+    pub fn footprint_bytes(&self) -> usize {
+        match self {
+            StpScratch::Generic(s) => s.footprint_bytes(),
+            StpScratch::LoG(s) => s.footprint_bytes(),
+            StpScratch::SplitCk(s) => s.footprint_bytes(),
+            StpScratch::AoSoA(s) => s.footprint_bytes(),
+        }
+    }
+}
+
+/// Runs the predictor `variant`; dispatch mirrors the paper's opt-in kernel
+/// selection through the specification file.
+pub fn run_stp(
+    plan: &StpPlan,
+    pde: &dyn LinearPde,
+    scratch: &mut StpScratch,
+    inputs: &StpInputs<'_>,
+    out: &mut StpOutputs,
+) {
+    match scratch {
+        StpScratch::Generic(s) => generic::stp_generic(plan, pde, s, inputs, out),
+        StpScratch::LoG(s) => log::stp_log(plan, pde, s, inputs, out),
+        StpScratch::SplitCk(s) => splitck::stp_splitck(plan, pde, s, inputs, out),
+        StpScratch::AoSoA(s) => aosoa::stp_aosoa(plan, pde, s, inputs, out),
+    }
+}
+
+/// Shared epilogue: projects `qavg` / `favg` onto the six faces.
+pub(crate) fn project_faces(plan: &StpPlan, out: &mut StpOutputs) {
+    for d in 0..3 {
+        for side in 0..2 {
+            let f = 2 * d + side;
+            faceproj::project_to_face(plan, &out.qavg, d, side, &mut out.qface[f]);
+            faceproj::project_to_face(plan, &out.favg[d], d, side, &mut out.fface[f]);
+        }
+    }
+}

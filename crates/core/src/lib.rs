@@ -1,0 +1,27 @@
+//! # aderdg-core
+//!
+//! The paper's primary contribution: a linear ADER-DG engine whose
+//! Space-Time Predictor exists in four variants of increasing optimization
+//! (generic scalar, Loop-over-GEMM, dimension-split Cauchy-Kowalewsky, and
+//! AoSoA SplitCK with vectorized user functions), plus the surrounding
+//! scheme — face projection, Rusanov Riemann solver, corrector step, CFL
+//! time stepping and a rayon-parallel cell loop.
+
+#![warn(missing_docs)]
+
+pub mod corrector;
+pub mod engine;
+pub mod faceproj;
+pub mod kernels;
+pub mod mix;
+pub mod output;
+pub mod plan;
+pub mod riemann;
+pub mod spec;
+pub mod traces;
+
+pub use engine::{Engine, EngineConfig, Receiver};
+pub use kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
+pub use plan::{CellSource, KernelVariant, StpConfig, StpPlan};
+pub use riemann::{boundary_face, rusanov_face, BoundaryScratch};
+pub use spec::{SolverSpec, SpecError};

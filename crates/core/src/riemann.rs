@@ -1,0 +1,236 @@
+//! Numerical flux (Riemann solver) on element faces.
+//!
+//! The corrector couples neighbouring elements through a numerical flux
+//! `F*` that the paper assumes linear in `Q` and `F` (Sec. II-A). We use
+//! the Rusanov (local Lax-Friedrichs) flux, which satisfies that
+//! assumption: with the engine's sign convention `Q_t = ∇·F(Q)`,
+//!
+//! `F* = ½ (F_L + F_R) + ½ s (q_R − q_L)`,  `s = max wave speed`,
+//!
+//! applied to the *time-integrated* face states and fluxes produced by the
+//! predictor, so one Riemann solve per face per time step suffices (eq. 5).
+
+use crate::plan::StpPlan;
+use aderdg_mesh::BoundaryKind;
+use aderdg_pde::LinearPde;
+
+/// Computes the Rusanov flux for one interior face of normal dimension `d`.
+///
+/// `q_l`, `f_l` belong to the lower cell's upper face; `q_r`, `f_r` to the
+/// upper cell's lower face (all padded face tensors). Writes `f_star`.
+pub fn rusanov_face(
+    plan: &StpPlan,
+    pde: &dyn LinearPde,
+    d: usize,
+    q_l: &[f64],
+    f_l: &[f64],
+    q_r: &[f64],
+    f_r: &[f64],
+    f_star: &mut [f64],
+) {
+    let n = plan.n();
+    let vars = pde.num_vars();
+    let mf_pad = plan.face.m_pad();
+    f_star[..plan.face.len()].fill(0.0);
+    for node in 0..n * n {
+        let o = node * mf_pad;
+        let s_l = pde.max_wavespeed(d, &q_l[o..o + plan.m()]);
+        let s_r = pde.max_wavespeed(d, &q_r[o..o + plan.m()]);
+        let s = s_l.max(s_r);
+        for v in 0..vars {
+            f_star[o + v] =
+                0.5 * (f_l[o + v] + f_r[o + v]) + 0.5 * s * (q_r[o + v] - q_l[o + v]);
+        }
+    }
+}
+
+/// Scratch for boundary-face ghost states.
+#[derive(Debug, Clone)]
+pub struct BoundaryScratch {
+    /// Ghost `q̄` face tensor.
+    pub q_ghost: Vec<f64>,
+    /// Ghost flux face tensor.
+    pub f_ghost: Vec<f64>,
+}
+
+impl BoundaryScratch {
+    /// Allocates face-sized ghost buffers.
+    pub fn new(plan: &StpPlan) -> Self {
+        Self {
+            q_ghost: vec![0.0; plan.face.len()],
+            f_ghost: vec![0.0; plan.face.len()],
+        }
+    }
+}
+
+/// Computes the Rusanov flux for a domain-boundary face: builds the ghost
+/// state from the interior trace according to `kind`, evaluates its flux,
+/// and calls the interior Riemann solve with interior/ghost ordered by
+/// `side` (0 = the boundary is the cell's lower face).
+#[allow(clippy::too_many_arguments)]
+pub fn boundary_face(
+    plan: &StpPlan,
+    pde: &dyn LinearPde,
+    d: usize,
+    side: usize,
+    kind: BoundaryKind,
+    q_in: &[f64],
+    f_in: &[f64],
+    scratch: &mut BoundaryScratch,
+    f_star: &mut [f64],
+) {
+    let n = plan.n();
+    let m = plan.m();
+    let mf_pad = plan.face.m_pad();
+    let outward = if side == 1 { 1.0 } else { -1.0 };
+    match kind {
+        BoundaryKind::Outflow | BoundaryKind::Periodic => {
+            // Absorbing boundary: Riemann solve against a *quiescent
+            // exterior* (zero evolved variables, parameters copied). The
+            // Rusanov flux then upwinds the outgoing characteristics and
+            // damps incoming ones — the naive zero-gradient copy
+            // (F* = F_in) leaves incoming characteristics unconstrained
+            // and is unstable for wave systems. (Periodic faces are
+            // normally resolved to interior neighbours by the mesh; a
+            // stray call is treated the same way.)
+            let vars = pde.num_vars();
+            scratch.q_ghost[..plan.face.len()].copy_from_slice(&q_in[..plan.face.len()]);
+            scratch.f_ghost[..plan.face.len()].fill(0.0);
+            for node in 0..n * n {
+                let o = node * mf_pad;
+                scratch.q_ghost[o..o + vars].fill(0.0);
+            }
+        }
+        BoundaryKind::Reflective => {
+            let mut flux = vec![0.0; m];
+            for node in 0..n * n {
+                let o = node * mf_pad;
+                pde.reflective_ghost(
+                    d,
+                    outward,
+                    &q_in[o..o + m],
+                    &mut scratch.q_ghost[o..o + m],
+                );
+                pde.flux(d, &scratch.q_ghost[o..o + m], &mut flux);
+                scratch.f_ghost[o..o + m].copy_from_slice(&flux);
+            }
+        }
+    }
+    if side == 1 {
+        // Boundary is the upper face: interior is the left state.
+        rusanov_face(
+            plan,
+            pde,
+            d,
+            q_in,
+            f_in,
+            &scratch.q_ghost,
+            &scratch.f_ghost,
+            f_star,
+        );
+    } else {
+        rusanov_face(
+            plan,
+            pde,
+            d,
+            &scratch.q_ghost,
+            &scratch.f_ghost,
+            q_in,
+            f_in,
+            f_star,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::StpConfig;
+    use aderdg_pde::AdvectionSystem;
+
+    fn face_state(plan: &StpPlan, val: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+        let n = plan.n();
+        let mf = plan.face.m_pad();
+        let mut q = vec![0.0; plan.face.len()];
+        for node in 0..n * n {
+            for s in 0..plan.m() {
+                q[node * mf + s] = val(node, s);
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn upwind_recovered_for_scalar_advection() {
+        // a > 0: information moves +x; F* must equal F(q_L) = −a q_L.
+        let plan = StpPlan::new(StpConfig::new(3, 1), [1.0; 3]);
+        let pde = AdvectionSystem::new(1, [2.0, 0.0, 0.0]);
+        let q_l = face_state(&plan, |n, _| 1.0 + n as f64);
+        let q_r = face_state(&plan, |n, _| -3.0 + 0.5 * n as f64);
+        let f_l: Vec<f64> = q_l.iter().map(|&q| -2.0 * q).collect();
+        let f_r: Vec<f64> = q_r.iter().map(|&q| -2.0 * q).collect();
+        let mut f_star = vec![0.0; plan.face.len()];
+        rusanov_face(&plan, &pde, 0, &q_l, &f_l, &q_r, &f_r, &mut f_star);
+        let mf = plan.face.m_pad();
+        for node in 0..9 {
+            assert!(
+                (f_star[node * mf] - f_l[node * mf]).abs() < 1e-13,
+                "node {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn consistency_equal_states_give_physical_flux() {
+        let plan = StpPlan::new(StpConfig::new(4, 2), [1.0; 3]);
+        let pde = AdvectionSystem::new(2, [0.3, -0.7, 0.1]);
+        let q = face_state(&plan, |n, s| (n + s) as f64 * 0.1 - 0.4);
+        let f: Vec<f64> = q.iter().map(|&x| 0.7 * x).collect();
+        let mut f_star = vec![0.0; plan.face.len()];
+        rusanov_face(&plan, &pde, 1, &q, &f, &q, &f, &mut f_star);
+        let mf = plan.face.m_pad();
+        for node in 0..16 {
+            for s in 0..2 {
+                assert!((f_star[node * mf + s] - f[node * mf + s]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn outflow_boundary_passes_interior_flux() {
+        let plan = StpPlan::new(StpConfig::new(3, 1), [1.0; 3]);
+        let pde = AdvectionSystem::new(1, [1.0, 0.0, 0.0]);
+        let q = face_state(&plan, |n, _| n as f64);
+        let f: Vec<f64> = q.iter().map(|&x| -x).collect();
+        let mut scratch = BoundaryScratch::new(&plan);
+        let mut f_star = vec![0.0; plan.face.len()];
+        boundary_face(
+            &plan,
+            &pde,
+            0,
+            1,
+            BoundaryKind::Outflow,
+            &q,
+            &f,
+            &mut scratch,
+            &mut f_star,
+        );
+        let mf = plan.face.m_pad();
+        for node in 0..9 {
+            assert!((f_star[node * mf] - f[node * mf]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn rusanov_dissipation_sign() {
+        // With q_R > q_L and F ≡ 0, F* = ½ s (q_R − q_L) > 0.
+        let plan = StpPlan::new(StpConfig::new(3, 1), [1.0; 3]);
+        let pde = AdvectionSystem::new(1, [1.0, 0.0, 0.0]);
+        let q_l = face_state(&plan, |_, _| 0.0);
+        let q_r = face_state(&plan, |_, _| 2.0);
+        let zero = vec![0.0; plan.face.len()];
+        let mut f_star = vec![0.0; plan.face.len()];
+        rusanov_face(&plan, &pde, 0, &q_l, &zero, &q_r, &zero, &mut f_star);
+        assert!((f_star[0] - 1.0).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,231 @@
+//! Solver specification — the analogue of ExaHyPE's specification file.
+//!
+//! In the paper, users select the kernel variant, order and architecture
+//! in a specification file; the Toolkit validates it and generates glue
+//! code (Sec. II-C/D). [`SolverSpec`] plays that role: a tiny `key = value`
+//! format (comments with `#`) parsed into a validated configuration the
+//! engine consumes. The optimized variants are opt-in, exactly as in the
+//! paper.
+//!
+//! ```text
+//! # my_solver.spec
+//! order   = 6
+//! kernel  = aosoa_splitck
+//! width   = avx512
+//! rule    = gauss_legendre
+//! cfl     = 0.4
+//! ```
+
+use crate::engine::EngineConfig;
+use crate::plan::KernelVariant;
+use aderdg_quadrature::QuadratureRule;
+use aderdg_tensor::SimdWidth;
+use std::fmt;
+
+/// A parse/validation error with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number (0 for cross-field validation errors).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A validated solver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverSpec {
+    /// Scheme order (nodes per dimension), 2..=15.
+    pub order: usize,
+    /// STP kernel variant (default: generic — optimizations are opt-in).
+    pub variant: KernelVariant,
+    /// SIMD width (default: host).
+    pub width: SimdWidth,
+    /// Quadrature rule (default: Gauss-Legendre).
+    pub rule: QuadratureRule,
+    /// CFL factor (default 0.4).
+    pub cfl: f64,
+}
+
+impl Default for SolverSpec {
+    fn default() -> Self {
+        Self {
+            order: 4,
+            variant: KernelVariant::Generic,
+            width: SimdWidth::host(),
+            rule: QuadratureRule::GaussLegendre,
+            cfl: 0.4,
+        }
+    }
+}
+
+impl SolverSpec {
+    /// Parses the `key = value` format; unknown keys and malformed values
+    /// are errors (the Toolkit rejects invalid specification files).
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut spec = SolverSpec::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(SpecError {
+                    line: line_no,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let err = |message: String| SpecError {
+                line: line_no,
+                message,
+            };
+            match key {
+                "order" => {
+                    spec.order = value
+                        .parse()
+                        .map_err(|_| err(format!("invalid order `{value}`")))?;
+                }
+                "kernel" => {
+                    spec.variant = match value {
+                        "generic" => KernelVariant::Generic,
+                        "log" => KernelVariant::LoG,
+                        "splitck" => KernelVariant::SplitCk,
+                        "aosoa_splitck" => KernelVariant::AoSoASplitCk,
+                        other => {
+                            return Err(err(format!(
+                                "unknown kernel `{other}` (generic|log|splitck|aosoa_splitck)"
+                            )))
+                        }
+                    };
+                }
+                "width" => {
+                    spec.width = match value {
+                        "sse" | "128" => SimdWidth::W2,
+                        "avx2" | "256" => SimdWidth::W4,
+                        "avx512" | "512" => SimdWidth::W8,
+                        "host" => SimdWidth::host(),
+                        other => {
+                            return Err(err(format!(
+                                "unknown width `{other}` (sse|avx2|avx512|host)"
+                            )))
+                        }
+                    };
+                }
+                "rule" => {
+                    spec.rule = match value {
+                        "gauss_legendre" => QuadratureRule::GaussLegendre,
+                        "gauss_lobatto" => QuadratureRule::GaussLobatto,
+                        other => {
+                            return Err(err(format!(
+                                "unknown rule `{other}` (gauss_legendre|gauss_lobatto)"
+                            )))
+                        }
+                    };
+                }
+                "cfl" => {
+                    spec.cfl = value
+                        .parse()
+                        .map_err(|_| err(format!("invalid cfl `{value}`")))?;
+                }
+                other => {
+                    return Err(err(format!("unknown key `{other}`")));
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        let fail = |message: String| SpecError { line: 0, message };
+        if !(2..=15).contains(&self.order) {
+            return Err(fail(format!("order {} outside 2..=15", self.order)));
+        }
+        if !(self.cfl > 0.0 && self.cfl <= 0.45) {
+            return Err(fail(format!(
+                "cfl {} outside (0, 0.45] (empirical 3-D stability limit)",
+                self.cfl
+            )));
+        }
+        Ok(())
+    }
+
+    /// The engine configuration this spec describes.
+    pub fn engine_config(&self) -> EngineConfig {
+        let mut cfg = EngineConfig::new(self.order)
+            .with_variant(self.variant)
+            .with_rule(self.rule)
+            .with_width(self.width);
+        cfg.cfl = self.cfl;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let spec = SolverSpec::parse(
+            "# benchmark setup\n\
+             order  = 6\n\
+             kernel = aosoa_splitck  # the Sec. V variant\n\
+             width  = avx512\n\
+             rule   = gauss_lobatto\n\
+             cfl    = 0.3\n",
+        )
+        .unwrap();
+        assert_eq!(spec.order, 6);
+        assert_eq!(spec.variant, KernelVariant::AoSoASplitCk);
+        assert_eq!(spec.width, SimdWidth::W8);
+        assert_eq!(spec.rule, QuadratureRule::GaussLobatto);
+        assert_eq!(spec.cfl, 0.3);
+        assert_eq!(spec.engine_config().order, 6);
+    }
+
+    #[test]
+    fn defaults_are_generic_and_opt_in() {
+        let spec = SolverSpec::parse("order = 5\n").unwrap();
+        assert_eq!(spec.variant, KernelVariant::Generic);
+        assert_eq!(spec.cfl, 0.4);
+    }
+
+    #[test]
+    fn rejects_unknown_kernel() {
+        let e = SolverSpec::parse("kernel = turbo\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown kernel"));
+    }
+
+    #[test]
+    fn rejects_unknown_key_and_bad_syntax() {
+        assert!(SolverSpec::parse("colour = blue\n").is_err());
+        let e = SolverSpec::parse("order 5\n").unwrap_err();
+        assert!(e.message.contains("key = value"));
+    }
+
+    #[test]
+    fn rejects_unstable_cfl_and_bad_order() {
+        let e = SolverSpec::parse("cfl = 0.9\n").unwrap_err();
+        assert!(e.message.contains("stability"));
+        assert!(SolverSpec::parse("order = 1\n").is_err());
+        assert!(SolverSpec::parse("order = 99\n").is_err());
+    }
+
+    #[test]
+    fn display_formats_line() {
+        let e = SolverSpec::parse("kernel = x\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

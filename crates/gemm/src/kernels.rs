@@ -1,0 +1,464 @@
+//! Small-GEMM compute kernels (the LIBXSMM substitute).
+//!
+//! One generic implementation, register-tiled so LLVM's auto-vectorizer
+//! produces packed FMA sequences, is instantiated three times:
+//!
+//! * a baseline build (whatever the compile target allows),
+//! * an AVX2+FMA build (`#[target_feature]`, paper's "Haswell" variant),
+//! * an AVX-512 build (paper's "Skylake" variant),
+//!
+//! selected once at plan time via runtime feature detection — the same
+//! role LIBXSMM's runtime code generation plays for the paper.
+
+use crate::spec::GemmSpec;
+
+/// Register micro-tile height (rows of C held in accumulators).
+const MR: usize = 4;
+/// Register micro-tile width in doubles (two AVX-512 / four AVX2 registers).
+const NR: usize = 16;
+
+/// Reference triple-loop implementation. Used as the correctness oracle in
+/// tests and as the "generic kernel without LIBXSMM" fallback of the
+/// paper's `matmul` template macro.
+pub fn gemm_naive(spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+    spec.check(a, b, c);
+    for i in 0..spec.m {
+        for j in 0..spec.n {
+            let mut acc = 0.0;
+            for l in 0..spec.k {
+                acc += a[i * spec.lda + l] * b[l * spec.ldb + j];
+            }
+            let cj = &mut c[i * spec.ldc + j];
+            *cj = spec.alpha * acc + spec.beta * *cj;
+        }
+    }
+}
+
+/// The shared register-tiled body. `#[inline(always)]` so each
+/// `target_feature` wrapper gets its own fully-specialized copy.
+#[inline(always)]
+fn gemm_body(spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+    let &GemmSpec {
+        m,
+        n,
+        k,
+        lda,
+        ldb,
+        ldc,
+        alpha,
+        beta,
+    } = spec;
+
+    // Full MR x NR register tiles.
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f64; NR]; MR];
+            for l in 0..k {
+                let brow = &b[l * ldb + j..l * ldb + j + NR];
+                for r in 0..MR {
+                    let av = alpha * a[(i + r) * lda + l];
+                    for t in 0..NR {
+                        acc[r][t] += av * brow[t];
+                    }
+                }
+            }
+            for r in 0..MR {
+                let crow = &mut c[(i + r) * ldc + j..(i + r) * ldc + j + NR];
+                if beta == 0.0 {
+                    crow.copy_from_slice(&acc[r]);
+                } else {
+                    for t in 0..NR {
+                        crow[t] = acc[r][t] + beta * crow[t];
+                    }
+                }
+            }
+            j += NR;
+        }
+        // Right edge: MR rows, narrow columns.
+        if j < n {
+            edge_tile::<MR>(spec, a, b, c, i, j, n - j);
+        }
+        i += MR;
+    }
+    // Bottom edge: remaining rows, full width sweep.
+    while i < m {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [0.0f64; NR];
+            let arow = &a[i * lda..i * lda + k];
+            for (l, &al) in arow.iter().enumerate() {
+                let av = alpha * al;
+                let brow = &b[l * ldb + j..l * ldb + j + NR];
+                for t in 0..NR {
+                    acc[t] += av * brow[t];
+                }
+            }
+            let crow = &mut c[i * ldc + j..i * ldc + j + NR];
+            if beta == 0.0 {
+                crow.copy_from_slice(&acc);
+            } else {
+                for t in 0..NR {
+                    crow[t] = acc[t] + beta * crow[t];
+                }
+            }
+            j += NR;
+        }
+        if j < n {
+            edge_tile::<1>(spec, a, b, c, i, j, n - j);
+        }
+        i += 1;
+    }
+}
+
+/// Scalar-ish edge handling for the last `< NR` columns of `rows` rows
+/// starting at `(i0, j0)`. Small by construction; correctness over speed.
+#[inline(always)]
+fn edge_tile<const ROWS: usize>(
+    spec: &GemmSpec,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    i0: usize,
+    j0: usize,
+    ncols: usize,
+) {
+    let &GemmSpec {
+        k,
+        lda,
+        ldb,
+        ldc,
+        alpha,
+        beta,
+        ..
+    } = spec;
+    for r in 0..ROWS {
+        let i = i0 + r;
+        for j in j0..j0 + ncols {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[i * lda + l] * b[l * ldb + j];
+            }
+            let cj = &mut c[i * ldc + j];
+            *cj = alpha * acc + beta * *cj;
+        }
+    }
+}
+
+/// The tiled body with the contraction depth `K` fixed at compile time —
+/// the "generated kernel" path: like the paper's Kernel Generator (and
+/// LIBXSMM's runtime code generation), the loop over `k` is fully unrolled
+/// for the small depths the DG derivative GEMMs actually use.
+#[inline(always)]
+fn gemm_body_const_k<const K: usize>(spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+    debug_assert_eq!(spec.k, K);
+    let fixed = GemmSpec { k: K, ..*spec };
+    gemm_body(&fixed, a, b, c);
+}
+
+/// Dispatches to a compile-time-`K` instantiation when the depth is one of
+/// the common DG orders, else to the dynamic body.
+#[inline(always)]
+fn gemm_body_dispatch(spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+    match spec.k {
+        2 => gemm_body_const_k::<2>(spec, a, b, c),
+        3 => gemm_body_const_k::<3>(spec, a, b, c),
+        4 => gemm_body_const_k::<4>(spec, a, b, c),
+        5 => gemm_body_const_k::<5>(spec, a, b, c),
+        6 => gemm_body_const_k::<6>(spec, a, b, c),
+        7 => gemm_body_const_k::<7>(spec, a, b, c),
+        8 => gemm_body_const_k::<8>(spec, a, b, c),
+        9 => gemm_body_const_k::<9>(spec, a, b, c),
+        10 => gemm_body_const_k::<10>(spec, a, b, c),
+        11 => gemm_body_const_k::<11>(spec, a, b, c),
+        12 => gemm_body_const_k::<12>(spec, a, b, c),
+        _ => gemm_body(spec, a, b, c),
+    }
+}
+
+/// Baseline build of the tiled kernel (no extra target features).
+pub fn gemm_autovec(spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+    spec.check(a, b, c);
+    gemm_body_dispatch(spec, a, b, c);
+}
+
+/// AVX2+FMA build (paper's "Haswell / AVX2" configuration).
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemm_avx2(spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+    spec.check(a, b, c);
+    gemm_body_dispatch(spec, a, b, c);
+}
+
+/// AVX-512 build (paper's "Skylake / AVX-512" configuration).
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX-512F/VL and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+pub unsafe fn gemm_avx512(spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+    spec.check(a, b, c);
+    gemm_body_dispatch(spec, a, b, c);
+}
+
+/// Instruction-set level a plan may execute with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Isa {
+    /// No explicit feature request; whatever the baseline target has.
+    Baseline,
+    /// 256-bit AVX2 + FMA.
+    Avx2,
+    /// 512-bit AVX-512F/VL + FMA.
+    Avx512,
+}
+
+impl Isa {
+    /// Best ISA the host supports.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vl")
+            {
+                return Isa::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Isa::Avx2;
+            }
+        }
+        Isa::Baseline
+    }
+
+    /// Clamp to at most `other` (used to emulate the paper's "AVX2 build on
+    /// an AVX-512 machine" comparison, Fig. 4).
+    pub fn min(self, other: Isa) -> Isa {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// SIMD register width in doubles this ISA packs.
+    pub fn width_doubles(self) -> usize {
+        match self {
+            Isa::Baseline => 2,
+            Isa::Avx2 => 4,
+            Isa::Avx512 => 8,
+        }
+    }
+}
+
+/// A planned GEMM: spec plus the kernel chosen for the host at plan time.
+///
+/// This is the analogue of a generated-and-dispatched LIBXSMM kernel: all
+/// size/stride decisions happen once, `execute` is the hot call.
+#[derive(Debug, Clone)]
+pub struct Gemm {
+    spec: GemmSpec,
+    isa: Isa,
+}
+
+impl Gemm {
+    /// Plans `spec` with the best ISA the host supports.
+    pub fn new(spec: GemmSpec) -> Self {
+        Self::with_isa(spec, Isa::detect())
+    }
+
+    /// Plans `spec` with an explicit ISA cap (the cap is intersected with
+    /// what the host actually supports).
+    pub fn with_isa(spec: GemmSpec, isa: Isa) -> Self {
+        Self {
+            spec,
+            isa: isa.min(Isa::detect()),
+        }
+    }
+
+    /// The descriptor this plan executes.
+    pub fn spec(&self) -> &GemmSpec {
+        &self.spec
+    }
+
+    /// The ISA the plan dispatches to.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Runs the planned multiplication on whole buffers.
+    #[inline]
+    pub fn execute(&self, a: &[f64], b: &[f64], c: &mut [f64]) {
+        match self.isa {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `with_isa` clamps to host-supported features.
+            Isa::Avx512 => unsafe { gemm_avx512(&self.spec, a, b, c) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            Isa::Avx2 => unsafe { gemm_avx2(&self.spec, a, b, c) },
+            _ => gemm_autovec(&self.spec, a, b, c),
+        }
+    }
+
+    /// Runs the planned multiplication on tensor slices given by offsets —
+    /// the Loop-over-GEMM entry point (offset + slice-stride addressing of
+    /// paper Fig. 3; the strides live in the spec).
+    #[inline]
+    pub fn execute_offset(
+        &self,
+        a: &[f64],
+        ao: usize,
+        b: &[f64],
+        bo: usize,
+        c: &mut [f64],
+        co: usize,
+    ) {
+        self.execute(&a[ao..], &b[bo..], &mut c[co..]);
+    }
+
+    /// Useful flops per execution.
+    pub fn flops(&self) -> u64 {
+        self.spec.flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+        // Tiny deterministic LCG; no external deps in unit tests.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn check_against_naive(spec: GemmSpec, seed: u64) {
+        let (ra, rb, rc) = spec.required_lens();
+        let a = rand_vec(ra.max(1), seed);
+        let b = rand_vec(rb.max(1), seed ^ 0xABCD);
+        let c0 = rand_vec(rc.max(1), seed ^ 0x1234);
+
+        let mut c_ref = c0.clone();
+        gemm_naive(&spec, &a, &b, &mut c_ref);
+
+        let mut c_tiled = c0.clone();
+        gemm_autovec(&spec, &a, &b, &mut c_tiled);
+        assert_close(&c_tiled, &c_ref, &spec);
+
+        let mut c_plan = c0.clone();
+        Gemm::new(spec).execute(&a, &b, &mut c_plan);
+        assert_close(&c_plan, &c_ref, &spec);
+    }
+
+    fn assert_close(got: &[f64], want: &[f64], spec: &GemmSpec) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-11 * (1.0 + w.abs()),
+                "spec={spec:?} idx={i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_shapes() {
+        let mut seed = 7;
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (4, 16, 4),
+            (5, 17, 3),
+            (8, 24, 8),
+            (3, 5, 7),
+            (6, 48, 6),
+            (11, 33, 9),
+            (16, 16, 16),
+            (2, 130, 4),
+        ] {
+            check_against_naive(GemmSpec::dense(m, n, k), seed);
+            seed += 1;
+        }
+    }
+
+    #[test]
+    fn matches_naive_with_strides_and_scales() {
+        let mut seed = 100;
+        for &(m, n, k) in &[(4, 16, 4), (5, 9, 6), (7, 21, 7)] {
+            for &(da, db, dc) in &[(0, 0, 0), (3, 1, 5), (1, 7, 2)] {
+                for &(alpha, beta) in &[(1.0, 0.0), (1.0, 1.0), (-0.5, 0.25), (2.0, -1.0)] {
+                    let spec = GemmSpec::dense(m, n, k)
+                        .with_ld(k + da, n + db, n + dc)
+                        .with_scale(alpha, beta);
+                    check_against_naive(spec, seed);
+                    seed += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_garbage() {
+        let spec = GemmSpec::dense(4, 16, 2);
+        let a = vec![1.0; 8];
+        let b = vec![1.0; 32];
+        let mut c = vec![f64::NAN; 64];
+        gemm_autovec(&spec, &a, &b, &mut c);
+        assert!(c.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn padded_b_columns_produce_zero_c_columns() {
+        // B has n = 8 columns of which the last 3 are zero padding; with
+        // beta = 0 the corresponding C columns must come out exactly zero
+        // (the "padding flops for free" invariant of Sec. III-A).
+        let spec = GemmSpec::dense(4, 8, 4);
+        let a = rand_vec(16, 5);
+        let mut b = rand_vec(32, 6);
+        for row in 0..4 {
+            for j in 5..8 {
+                b[row * 8 + j] = 0.0;
+            }
+        }
+        let mut c = vec![1.0; 32];
+        gemm_autovec(&spec, &a, &b, &mut c);
+        for row in 0..4 {
+            for j in 5..8 {
+                assert_eq!(c[row * 8 + j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn isa_ordering_and_clamp() {
+        assert!(Isa::Baseline < Isa::Avx2 && Isa::Avx2 < Isa::Avx512);
+        assert_eq!(Isa::Avx512.min(Isa::Avx2), Isa::Avx2);
+        assert_eq!(Isa::Baseline.min(Isa::Avx512), Isa::Baseline);
+        assert_eq!(Isa::Avx512.width_doubles(), 8);
+        let host = Isa::detect();
+        let plan = Gemm::with_isa(GemmSpec::dense(2, 2, 2), Isa::Avx512);
+        assert!(plan.isa() <= host.min(Isa::Avx512).max(host));
+    }
+
+    #[test]
+    fn execute_offset_addresses_slices() {
+        // Multiply the lower-right 2x2 block of a 4x4 tensor by identity.
+        let spec = GemmSpec::dense(2, 2, 2).with_ld(2, 4, 4);
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        let t: Vec<f64> = (0..16).map(|x| x as f64).collect();
+        let mut out = vec![0.0; 16];
+        // B slice = rows 2..4, cols 2..4 of t => offset 2*4+2 = 10.
+        Gemm::new(spec).execute_offset(&eye, 0, &t, 10, &mut out, 10);
+        assert_eq!(out[10], 10.0);
+        assert_eq!(out[11], 11.0);
+        assert_eq!(out[14], 14.0);
+        assert_eq!(out[15], 15.0);
+        assert_eq!(out[0], 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # aderdg-gemm
+//!
+//! The LIBXSMM substitute: planned small dense matrix multiplications
+//! `C ← α·A·B + β·C`, row-major with explicit leading dimensions, so that
+//! tensor matrix slices (offset + slice stride, paper Fig. 3) can be
+//! multiplied in place without copies.
+//!
+//! Plans pick an instruction-set path (baseline / AVX2 / AVX-512) once at
+//! construction via runtime feature detection — the same role LIBXSMM's
+//! runtime code generation plays in the paper — and the register-tiled
+//! kernel body is compiled once per ISA via `#[target_feature]`.
+
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod spec;
+
+pub use kernels::{gemm_autovec, gemm_naive, Gemm, Isa};
+pub use spec::GemmSpec;

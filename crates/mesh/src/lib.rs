@@ -1,0 +1,17 @@
+//! # aderdg-mesh
+//!
+//! Mesh substrate: structured hexahedral box meshes with periodic /
+//! outflow / reflective boundaries and face connectivity, plus curvilinear
+//! coordinate transforms (identity, smooth sine deformation, and the
+//! interface-fitted vertical stretch used for LOH1-style layered media)
+//! whose per-node inverse-Jacobian rows become the metric parameters of
+//! the elastic wave equation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curvilinear;
+pub mod structured;
+
+pub use curvilinear::{invert3, CurvilinearMap, IdentityMap, InterfaceFittedMap, SineDeformation};
+pub use structured::{BoundaryKind, Face, Neighbor, StructuredMesh};

@@ -1,0 +1,316 @@
+//! Structured hexahedral meshes.
+//!
+//! The paper's measurements run on regular tree-structured Cartesian meshes
+//! (Peano); all kernel work is element-local, so a structured box mesh with
+//! face connectivity reproduces the measured code paths. Cells are unit-cube
+//! reference elements mapped to physical space; curvilinear deformation is
+//! layered on top via [`crate::curvilinear`].
+
+/// Behaviour of a domain boundary face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryKind {
+    /// Wrap-around (used by all convergence tests).
+    Periodic,
+    /// Zero-gradient outflow (first-order absorbing).
+    Outflow,
+    /// Reflective wall (velocity components flip — interpretation is up to
+    /// the Riemann solver).
+    Reflective,
+}
+
+/// One of the six faces of a hexahedral cell: dimension `d` ∈ {0,1,2} and
+/// side (0 = left/lower, 1 = right/upper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Face {
+    /// Normal dimension.
+    pub dim: usize,
+    /// 0 = lower face, 1 = upper face.
+    pub side: usize,
+}
+
+impl Face {
+    /// All six faces in the order (−x, +x, −y, +y, −z, +z).
+    pub const ALL: [Face; 6] = [
+        Face { dim: 0, side: 0 },
+        Face { dim: 0, side: 1 },
+        Face { dim: 1, side: 0 },
+        Face { dim: 1, side: 1 },
+        Face { dim: 2, side: 0 },
+        Face { dim: 2, side: 1 },
+    ];
+
+    /// Flat index 0..6.
+    pub fn index(&self) -> usize {
+        2 * self.dim + self.side
+    }
+
+    /// The matching face on the neighbouring cell.
+    pub fn opposite(&self) -> Face {
+        Face {
+            dim: self.dim,
+            side: 1 - self.side,
+        }
+    }
+}
+
+/// What lies across a cell face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Neighbor {
+    /// Interior (or periodic-wrapped) neighbour cell.
+    Cell(usize),
+    /// Domain boundary of the given kind.
+    Boundary(BoundaryKind),
+}
+
+/// A structured box mesh of `dims[0] × dims[1] × dims[2]` hexahedral cells.
+#[derive(Debug, Clone)]
+pub struct StructuredMesh {
+    /// Cells per dimension.
+    pub dims: [usize; 3],
+    /// Physical coordinates of the domain's lower corner.
+    pub origin: [f64; 3],
+    /// Physical edge lengths of the domain.
+    pub extent: [f64; 3],
+    /// Boundary behaviour per dimension (applies to both sides).
+    pub boundary: [BoundaryKind; 3],
+}
+
+impl StructuredMesh {
+    /// Uniform periodic mesh on the unit cube.
+    pub fn unit_cube(cells_per_dim: usize) -> Self {
+        Self {
+            dims: [cells_per_dim; 3],
+            origin: [0.0; 3],
+            extent: [1.0; 3],
+            boundary: [BoundaryKind::Periodic; 3],
+        }
+    }
+
+    /// General box mesh.
+    pub fn new(
+        dims: [usize; 3],
+        origin: [f64; 3],
+        extent: [f64; 3],
+        boundary: [BoundaryKind; 3],
+    ) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1), "at least one cell per dim");
+        assert!(extent.iter().all(|&e| e > 0.0), "positive extent");
+        Self {
+            dims,
+            origin,
+            extent,
+            boundary,
+        }
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Cell edge lengths.
+    pub fn cell_size(&self) -> [f64; 3] {
+        [
+            self.extent[0] / self.dims[0] as f64,
+            self.extent[1] / self.dims[1] as f64,
+            self.extent[2] / self.dims[2] as f64,
+        ]
+    }
+
+    /// Flat index of cell `(i, j, k)` (x fastest).
+    pub fn cell_index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2]);
+        (k * self.dims[1] + j) * self.dims[0] + i
+    }
+
+    /// Integer coordinates of a flat cell index.
+    pub fn cell_coords(&self, idx: usize) -> [usize; 3] {
+        debug_assert!(idx < self.num_cells());
+        let i = idx % self.dims[0];
+        let j = (idx / self.dims[0]) % self.dims[1];
+        let k = idx / (self.dims[0] * self.dims[1]);
+        [i, j, k]
+    }
+
+    /// Physical coordinates of the lower corner of a cell.
+    pub fn cell_origin(&self, idx: usize) -> [f64; 3] {
+        let c = self.cell_coords(idx);
+        let h = self.cell_size();
+        [
+            self.origin[0] + c[0] as f64 * h[0],
+            self.origin[1] + c[1] as f64 * h[1],
+            self.origin[2] + c[2] as f64 * h[2],
+        ]
+    }
+
+    /// Physical position of reference coordinate `xi` ∈ \[0,1\]³ inside a cell
+    /// (before any curvilinear deformation).
+    pub fn cell_point(&self, idx: usize, xi: [f64; 3]) -> [f64; 3] {
+        let o = self.cell_origin(idx);
+        let h = self.cell_size();
+        [o[0] + xi[0] * h[0], o[1] + xi[1] * h[1], o[2] + xi[2] * h[2]]
+    }
+
+    /// The physical centre of a cell.
+    pub fn cell_center(&self, idx: usize) -> [f64; 3] {
+        self.cell_point(idx, [0.5; 3])
+    }
+
+    /// What lies across `face` of cell `idx`.
+    pub fn neighbor(&self, idx: usize, face: Face) -> Neighbor {
+        let mut c = self.cell_coords(idx);
+        let d = face.dim;
+        let n = self.dims[d];
+        if face.side == 0 {
+            if c[d] == 0 {
+                match self.boundary[d] {
+                    BoundaryKind::Periodic => c[d] = n - 1,
+                    kind => return Neighbor::Boundary(kind),
+                }
+            } else {
+                c[d] -= 1;
+            }
+        } else if c[d] + 1 == n {
+            match self.boundary[d] {
+                BoundaryKind::Periodic => c[d] = 0,
+                kind => return Neighbor::Boundary(kind),
+            }
+        } else {
+            c[d] += 1;
+        }
+        Neighbor::Cell(self.cell_index(c[0], c[1], c[2]))
+    }
+
+    /// The cell containing physical point `x` (clamped to the domain).
+    pub fn locate(&self, x: [f64; 3]) -> usize {
+        let h = self.cell_size();
+        let mut c = [0usize; 3];
+        for d in 0..3 {
+            let rel = (x[d] - self.origin[d]) / h[d];
+            c[d] = (rel.floor().max(0.0) as usize).min(self.dims[d] - 1);
+        }
+        self.cell_index(c[0], c[1], c[2])
+    }
+
+    /// Reference coordinates of physical point `x` within its cell.
+    pub fn to_reference(&self, cell: usize, x: [f64; 3]) -> [f64; 3] {
+        let o = self.cell_origin(cell);
+        let h = self.cell_size();
+        [
+            (x[0] - o[0]) / h[0],
+            (x[1] - o[1]) / h[1],
+            (x[2] - o[2]) / h[2],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let m = StructuredMesh::unit_cube(4);
+        assert_eq!(m.num_cells(), 64);
+        for idx in 0..m.num_cells() {
+            let c = m.cell_coords(idx);
+            assert_eq!(m.cell_index(c[0], c[1], c[2]), idx);
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let m = StructuredMesh::new(
+            [2, 4, 8],
+            [1.0, 0.0, -1.0],
+            [2.0, 4.0, 8.0],
+            [BoundaryKind::Periodic; 3],
+        );
+        assert_eq!(m.cell_size(), [1.0; 3]);
+        let idx = m.cell_index(1, 2, 3);
+        assert_eq!(m.cell_origin(idx), [2.0, 2.0, 2.0]);
+        assert_eq!(m.cell_center(idx), [2.5, 2.5, 2.5]);
+        assert_eq!(m.cell_point(idx, [0.0, 1.0, 0.5]), [2.0, 3.0, 2.5]);
+    }
+
+    #[test]
+    fn periodic_neighbors_wrap() {
+        let m = StructuredMesh::unit_cube(3);
+        let idx = m.cell_index(0, 1, 2);
+        assert_eq!(
+            m.neighbor(idx, Face { dim: 0, side: 0 }),
+            Neighbor::Cell(m.cell_index(2, 1, 2))
+        );
+        assert_eq!(
+            m.neighbor(idx, Face { dim: 2, side: 1 }),
+            Neighbor::Cell(m.cell_index(0, 1, 0))
+        );
+        assert_eq!(
+            m.neighbor(idx, Face { dim: 1, side: 1 }),
+            Neighbor::Cell(m.cell_index(0, 2, 2))
+        );
+    }
+
+    #[test]
+    fn boundary_faces_report_kind() {
+        let m = StructuredMesh::new(
+            [2, 2, 2],
+            [0.0; 3],
+            [1.0; 3],
+            [
+                BoundaryKind::Outflow,
+                BoundaryKind::Reflective,
+                BoundaryKind::Periodic,
+            ],
+        );
+        let idx = m.cell_index(0, 0, 0);
+        assert_eq!(
+            m.neighbor(idx, Face { dim: 0, side: 0 }),
+            Neighbor::Boundary(BoundaryKind::Outflow)
+        );
+        assert_eq!(
+            m.neighbor(idx, Face { dim: 1, side: 0 }),
+            Neighbor::Boundary(BoundaryKind::Reflective)
+        );
+        assert_eq!(
+            m.neighbor(idx, Face { dim: 2, side: 0 }),
+            Neighbor::Cell(m.cell_index(0, 0, 1))
+        );
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let m = StructuredMesh::unit_cube(3);
+        for idx in 0..m.num_cells() {
+            for face in Face::ALL {
+                if let Neighbor::Cell(other) = m.neighbor(idx, face) {
+                    assert_eq!(
+                        m.neighbor(other, face.opposite()),
+                        Neighbor::Cell(idx),
+                        "idx={idx} face={face:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_and_reference_coords() {
+        let m = StructuredMesh::unit_cube(4);
+        let x = [0.30, 0.60, 0.95];
+        let cell = m.locate(x);
+        assert_eq!(m.cell_coords(cell), [1, 2, 3]);
+        let xi = m.to_reference(cell, x);
+        assert!((xi[0] - 0.2).abs() < 1e-12);
+        assert!((xi[1] - 0.4).abs() < 1e-12);
+        assert!((xi[2] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn face_index_and_opposite() {
+        for (i, f) in Face::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+            assert_eq!(f.opposite().opposite(), *f);
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! Linear elastodynamics in first-order velocity–stress form on (possibly)
+//! curvilinear meshes — the paper's benchmark workload (Sec. VI).
+//!
+//! Evolved quantities (9): particle velocity `v = (vx, vy, vz)` and the
+//! symmetric stress tensor `(σxx, σyy, σzz, σxy, σxz, σyz)`. Parameters
+//! (12): the material triple `(ρ, cp, cs)` and the nine entries of the
+//! curvilinear metric `J` stored at each node — `m = 21` stored quantities,
+//! matching the paper's setup exactly.
+//!
+//! The flux in logical direction `d` is the metric-weighted combination of
+//! the Cartesian fluxes, `F_d = Σ_j J[d][j] F̂_j`; on a Cartesian mesh
+//! (`J = I`) this is the textbook elastic wave equation, which the
+//! plane-wave convergence tests verify.
+
+use crate::traits::{ExactSolution, LinearPde};
+
+/// Indices of the velocity components.
+pub const VX: usize = 0;
+/// y-velocity.
+pub const VY: usize = 1;
+/// z-velocity.
+pub const VZ: usize = 2;
+/// Normal stresses.
+pub const SXX: usize = 3;
+/// σyy.
+pub const SYY: usize = 4;
+/// σzz.
+pub const SZZ: usize = 5;
+/// Shear stresses.
+pub const SXY: usize = 6;
+/// σxz.
+pub const SXZ: usize = 7;
+/// σyz.
+pub const SYZ: usize = 8;
+/// Number of evolved quantities.
+pub const VARS: usize = 9;
+/// Parameters: ρ, cp, cs + 9 metric entries.
+pub const PARAMS: usize = 12;
+/// Offset of the density parameter.
+pub const P_RHO: usize = VARS;
+/// Offset of the P-wave speed parameter.
+pub const P_CP: usize = VARS + 1;
+/// Offset of the S-wave speed parameter.
+pub const P_CS: usize = VARS + 2;
+/// Offset of the 3×3 metric block (row-major).
+pub const P_JAC: usize = VARS + 3;
+
+/// Homogeneous isotropic material description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Density.
+    pub rho: f64,
+    /// P-wave speed.
+    pub cp: f64,
+    /// S-wave speed.
+    pub cs: f64,
+}
+
+impl Material {
+    /// Lamé parameter `μ = ρ cs²`.
+    pub fn mu(&self) -> f64 {
+        self.rho * self.cs * self.cs
+    }
+
+    /// Lamé parameter `λ = ρ (cp² − 2 cs²)`.
+    pub fn lambda(&self) -> f64 {
+        self.rho * (self.cp * self.cp - 2.0 * self.cs * self.cs)
+    }
+}
+
+/// The elastic wave equation (LOH1-style setups).
+#[derive(Debug, Clone, Default)]
+pub struct Elastic;
+
+impl Elastic {
+    /// Writes the 12 parameter slots of a state vector: material plus the
+    /// metric rows (identity for Cartesian meshes).
+    pub fn set_params(q: &mut [f64], mat: Material, jac: &[f64; 9]) {
+        q[P_RHO] = mat.rho;
+        q[P_CP] = mat.cp;
+        q[P_CS] = mat.cs;
+        q[P_JAC..P_JAC + 9].copy_from_slice(jac);
+    }
+
+    /// Identity metric (Cartesian mesh).
+    pub const IDENTITY_JAC: [f64; 9] = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+
+    /// Cartesian flux `F̂_j(Q)` into `f[0..VARS]` given Lamé parameters.
+    #[inline]
+    fn cartesian_flux(j: usize, q: &[f64], inv_rho: f64, lam: f64, mu: f64, f: &mut [f64; VARS]) {
+        let lam2mu = lam + 2.0 * mu;
+        match j {
+            0 => {
+                f[VX] = q[SXX] * inv_rho;
+                f[VY] = q[SXY] * inv_rho;
+                f[VZ] = q[SXZ] * inv_rho;
+                f[SXX] = lam2mu * q[VX];
+                f[SYY] = lam * q[VX];
+                f[SZZ] = lam * q[VX];
+                f[SXY] = mu * q[VY];
+                f[SXZ] = mu * q[VZ];
+                f[SYZ] = 0.0;
+            }
+            1 => {
+                f[VX] = q[SXY] * inv_rho;
+                f[VY] = q[SYY] * inv_rho;
+                f[VZ] = q[SYZ] * inv_rho;
+                f[SXX] = lam * q[VY];
+                f[SYY] = lam2mu * q[VY];
+                f[SZZ] = lam * q[VY];
+                f[SXY] = mu * q[VX];
+                f[SXZ] = 0.0;
+                f[SYZ] = mu * q[VZ];
+            }
+            _ => {
+                f[VX] = q[SXZ] * inv_rho;
+                f[VY] = q[SYZ] * inv_rho;
+                f[VZ] = q[SZZ] * inv_rho;
+                f[SXX] = lam * q[VZ];
+                f[SYY] = lam * q[VZ];
+                f[SZZ] = lam2mu * q[VZ];
+                f[SXY] = 0.0;
+                f[SXZ] = mu * q[VX];
+                f[SYZ] = mu * q[VY];
+            }
+        }
+    }
+}
+
+impl LinearPde for Elastic {
+    fn num_vars(&self) -> usize {
+        VARS
+    }
+
+    fn num_params(&self) -> usize {
+        PARAMS
+    }
+
+    fn flux(&self, d: usize, q: &[f64], f: &mut [f64]) {
+        let rho = q[P_RHO];
+        let inv_rho = 1.0 / rho;
+        let mat = Material {
+            rho,
+            cp: q[P_CP],
+            cs: q[P_CS],
+        };
+        let (lam, mu) = (mat.lambda(), mat.mu());
+        f.fill(0.0);
+        let mut fj = [0.0f64; VARS];
+        for j in 0..3 {
+            let w = q[P_JAC + 3 * d + j];
+            if w == 0.0 {
+                continue;
+            }
+            Elastic::cartesian_flux(j, q, inv_rho, lam, mu, &mut fj);
+            for s in 0..VARS {
+                f[s] += w * fj[s];
+            }
+        }
+    }
+
+    fn flux_vect(&self, d: usize, q: &[f64], f: &mut [f64], len: usize, stride: usize) {
+        // Fully vectorized lane loop (Fig. 8): per-lane material and metric.
+        const MAX_LANES: usize = 64;
+        assert!(stride <= MAX_LANES, "x-line too long for the lane buffer");
+        // Reciprocal density and Lamé parameters, guarded on the unpadded
+        // range (padding lanes have ρ = 0; Sec. V-C).
+        let mut inv_rho = [0.0f64; MAX_LANES];
+        let mut lam = [0.0f64; MAX_LANES];
+        let mut mu = [0.0f64; MAX_LANES];
+        let rho = &q[P_RHO * stride..(P_RHO + 1) * stride];
+        let cp = &q[P_CP * stride..(P_CP + 1) * stride];
+        let cs = &q[P_CS * stride..(P_CS + 1) * stride];
+        for i in 0..len {
+            inv_rho[i] = 1.0 / rho[i];
+            let cs2 = cs[i] * cs[i];
+            mu[i] = rho[i] * cs2;
+            lam[i] = rho[i] * (cp[i] * cp[i] - 2.0 * cs2);
+        }
+        f.fill(0.0);
+        // Row views of q (immutable) — indices into the SoA block.
+        let row = |s: usize| &q[s * stride..(s + 1) * stride];
+        let jac_row = |j: usize| &q[(P_JAC + 3 * d + j) * stride..(P_JAC + 3 * d + j + 1) * stride];
+        for j in 0..3 {
+            let w = jac_row(j);
+            // Cartesian flux component j, accumulated with the metric weight.
+            // The (dst, src, coef) table mirrors `cartesian_flux`.
+            let v_rows: [(usize, usize); 3] = match j {
+                0 => [(VX, SXX), (VY, SXY), (VZ, SXZ)],
+                1 => [(VX, SXY), (VY, SYY), (VZ, SYZ)],
+                _ => [(VX, SXZ), (VY, SYZ), (VZ, SZZ)],
+            };
+            for (dst, src) in v_rows {
+                let srow = row(src);
+                let frow = &mut f[dst * stride..(dst + 1) * stride];
+                for i in 0..stride {
+                    frow[i] += w[i] * srow[i] * inv_rho[i];
+                }
+            }
+            let vrow = row(VX + j);
+            // Normal stress rows: coefficient λ, or λ+2μ on the j-th one.
+            for (r, srow_idx) in [SXX, SYY, SZZ].iter().enumerate() {
+                let frow = &mut f[srow_idx * stride..(srow_idx + 1) * stride];
+                if r == j {
+                    for i in 0..stride {
+                        frow[i] += w[i] * (lam[i] + 2.0 * mu[i]) * vrow[i];
+                    }
+                } else {
+                    for i in 0..stride {
+                        frow[i] += w[i] * lam[i] * vrow[i];
+                    }
+                }
+            }
+            // Shear rows: σ_ab gets μ v_b from F̂_a and μ v_a from F̂_b.
+            let shear: [(usize, usize); 2] = match j {
+                0 => [(SXY, VY), (SXZ, VZ)],
+                1 => [(SXY, VX), (SYZ, VZ)],
+                _ => [(SXZ, VX), (SYZ, VY)],
+            };
+            for (dst, src) in shear {
+                let srow = row(src);
+                let frow = &mut f[dst * stride..(dst + 1) * stride];
+                for i in 0..stride {
+                    frow[i] += w[i] * mu[i] * srow[i];
+                }
+            }
+        }
+    }
+
+    fn has_vectorized_user_functions(&self) -> bool {
+        true
+    }
+
+    fn max_wavespeed(&self, d: usize, q: &[f64]) -> f64 {
+        let g = &q[P_JAC + 3 * d..P_JAC + 3 * d + 3];
+        let norm = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
+        q[P_CP] * norm
+    }
+
+    /// Free-surface boundary: the traction components `σ·e_d` are negated
+    /// in the ghost state (so the Riemann average enforces zero traction),
+    /// velocities are copied — the standard mirror condition for LOH1.
+    fn reflective_ghost(&self, d: usize, _outward: f64, q: &[f64], ghost: &mut [f64]) {
+        ghost.copy_from_slice(q);
+        let traction = match d {
+            0 => [SXX, SXY, SXZ],
+            1 => [SYY, SXY, SYZ],
+            _ => [SZZ, SXZ, SYZ],
+        };
+        for s in traction {
+            ghost[s] = -q[s];
+        }
+    }
+
+    /// Per pointwise flux call in one direction: three Cartesian fluxes
+    /// (≈ 16 mul/add each) combined with metric weights (9 × 2).
+    fn flux_flops(&self) -> u64 {
+        3 * 16 + 9 * 2 + 8
+    }
+}
+
+/// Exact elastic plane wave in a homogeneous Cartesian medium.
+///
+/// P-wave: polarization = propagation direction, speed `cp`.
+/// S-wave: polarization ⟂ direction, speed `cs`.
+#[derive(Debug, Clone)]
+pub struct ElasticPlaneWave {
+    /// Unit propagation direction `n`.
+    pub direction: [f64; 3],
+    /// Unit polarization `m` (set equal to `direction` for a P-wave).
+    pub polarization: [f64; 3],
+    /// Amplitude.
+    pub amplitude: f64,
+    /// Spatial frequency (integer for unit-cube periodicity).
+    pub wavenumber: f64,
+    /// Medium.
+    pub material: Material,
+}
+
+impl ElasticPlaneWave {
+    /// True if polarization ∥ direction (P-wave).
+    pub fn is_p_wave(&self) -> bool {
+        let n = self.direction;
+        let m = self.polarization;
+        let dot: f64 = n.iter().zip(&m).map(|(a, b)| a * b).sum();
+        (dot.abs() - 1.0).abs() < 1e-12
+    }
+
+    /// Phase speed of this wave.
+    pub fn speed(&self) -> f64 {
+        if self.is_p_wave() {
+            self.material.cp
+        } else {
+            self.material.cs
+        }
+    }
+}
+
+impl ExactSolution for ElasticPlaneWave {
+    fn evaluate(&self, x: [f64; 3], t: f64, q: &mut [f64]) {
+        let n = self.direction;
+        let m = self.polarization;
+        let c = self.speed();
+        let (lam, mu) = (self.material.lambda(), self.material.mu());
+        let phase = 2.0 * std::f64::consts::PI
+            * self.wavenumber
+            * (n[0] * x[0] + n[1] * x[1] + n[2] * x[2] - c * t);
+        let a = self.amplitude * phase.sin();
+        q[VX] = m[0] * a;
+        q[VY] = m[1] * a;
+        q[VZ] = m[2] * a;
+        let nm: f64 = n.iter().zip(&m).map(|(a, b)| a * b).sum();
+        // σ_ij = -(λ δ_ij (n·m) + μ (n_i m_j + n_j m_i)) a / c.
+        let sig = |i: usize, j: usize| -> f64 {
+            let delta = if i == j { 1.0 } else { 0.0 };
+            -(lam * delta * nm + mu * (n[i] * m[j] + n[j] * m[i])) * a / c
+        };
+        q[SXX] = sig(0, 0);
+        q[SYY] = sig(1, 1);
+        q[SZZ] = sig(2, 2);
+        q[SXY] = sig(0, 1);
+        q[SXZ] = sig(0, 2);
+        q[SYZ] = sig(1, 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAT: Material = Material {
+        rho: 2.7,
+        cp: 6.0,
+        cs: 3.343,
+    };
+
+    fn cart_state(v: [f64; 3], s: [f64; 6]) -> Vec<f64> {
+        let mut q = vec![0.0; VARS + PARAMS];
+        q[..3].copy_from_slice(&v);
+        q[3..9].copy_from_slice(&s);
+        Elastic::set_params(&mut q, MAT, &Elastic::IDENTITY_JAC);
+        q
+    }
+
+    #[test]
+    fn lame_parameters() {
+        let m = Material {
+            rho: 2.0,
+            cp: 3.0,
+            cs: 1.0,
+        };
+        assert!((m.mu() - 2.0).abs() < 1e-14);
+        assert!((m.lambda() - 14.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cartesian_flux_x_structure() {
+        let pde = Elastic;
+        let q = cart_state([1.0, 2.0, 3.0], [10.0, 20.0, 30.0, 40.0, 50.0, 60.0]);
+        let mut f = vec![0.0; VARS + PARAMS];
+        pde.flux(0, &q, &mut f);
+        let (lam, mu) = (MAT.lambda(), MAT.mu());
+        assert!((f[VX] - 10.0 / MAT.rho).abs() < 1e-12);
+        assert!((f[VY] - 40.0 / MAT.rho).abs() < 1e-12);
+        assert!((f[VZ] - 50.0 / MAT.rho).abs() < 1e-12);
+        assert!((f[SXX] - (lam + 2.0 * mu)).abs() < 1e-12);
+        assert!((f[SYY] - lam).abs() < 1e-12);
+        assert!((f[SXY] - 2.0 * mu).abs() < 1e-12);
+        assert!((f[SXZ] - 3.0 * mu).abs() < 1e-12);
+        assert_eq!(f[SYZ], 0.0);
+        // Parameter rows carry no flux.
+        assert!(f[VARS..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn metric_combination_is_linear() {
+        // With J row d = (0.3, 0.4, 0.5), the flux must equal the weighted
+        // sum of the Cartesian fluxes.
+        let pde = Elastic;
+        let mut q = cart_state([0.2, -0.7, 1.1], [1.0, -2.0, 0.5, 0.3, -0.9, 2.0]);
+        let mut fx = vec![0.0; VARS + PARAMS];
+        let mut fy = vec![0.0; VARS + PARAMS];
+        let mut fz = vec![0.0; VARS + PARAMS];
+        pde.flux(0, &q, &mut fx);
+        pde.flux(1, &q, &mut fy);
+        pde.flux(2, &q, &mut fz);
+
+        let jac = [0.3, 0.4, 0.5, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        Elastic::set_params(&mut q, MAT, &jac);
+        let mut f = vec![0.0; VARS + PARAMS];
+        pde.flux(0, &q, &mut f);
+        for s in 0..VARS {
+            let want = 0.3 * fx[s] + 0.4 * fy[s] + 0.5 * fz[s];
+            assert!((f[s] - want).abs() < 1e-12, "s={s}");
+        }
+    }
+
+    #[test]
+    fn vectorized_matches_pointwise_with_varying_material() {
+        let pde = Elastic;
+        let stride = 8;
+        let len = 7;
+        let m = pde.num_quantities();
+        let mut q = vec![0.0; m * stride];
+        for i in 0..len {
+            for s in 0..VARS {
+                q[s * stride + i] = ((s * 7 + i) as f64 * 0.37).sin();
+            }
+            q[P_RHO * stride + i] = 2.0 + 0.2 * i as f64;
+            q[P_CP * stride + i] = 5.0 + 0.1 * i as f64;
+            q[P_CS * stride + i] = 3.0 - 0.1 * i as f64;
+            // A smoothly varying metric.
+            for r in 0..9 {
+                let base = if r % 4 == 0 { 1.0 } else { 0.0 };
+                q[(P_JAC + r) * stride + i] = base + 0.05 * ((r + i) as f64).cos();
+            }
+        }
+        for d in 0..3 {
+            let mut fv = vec![f64::NAN; m * stride];
+            pde.flux_vect(d, &q, &mut fv, len, stride);
+            for i in 0..len {
+                let qi: Vec<f64> = (0..m).map(|s| q[s * stride + i]).collect();
+                let mut fi = vec![0.0; m];
+                pde.flux(d, &qi, &mut fi);
+                for s in 0..m {
+                    assert!(
+                        (fv[s * stride + i] - fi[s]).abs() < 1e-12,
+                        "d={d} s={s} i={i}: {} vs {}",
+                        fv[s * stride + i],
+                        fi[s]
+                    );
+                }
+            }
+            for s in 0..m {
+                for i in len..stride {
+                    assert_eq!(fv[s * stride + i], 0.0, "padding d={d} s={s} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_wave_satisfies_pde_residual() {
+        residual_check(ElasticPlaneWave {
+            direction: [0.6, 0.0, 0.8],
+            polarization: [0.6, 0.0, 0.8],
+            amplitude: 1.0,
+            wavenumber: 1.0,
+            material: MAT,
+        });
+    }
+
+    #[test]
+    fn s_wave_satisfies_pde_residual() {
+        residual_check(ElasticPlaneWave {
+            direction: [0.6, 0.0, 0.8],
+            polarization: [-0.8, 0.0, 0.6],
+            amplitude: 0.7,
+            wavenumber: 2.0,
+            material: MAT,
+        });
+    }
+
+    fn residual_check(w: ElasticPlaneWave) {
+        // Verify Q_t = Σ_d ∂_d F_d(Q) by central differences on a Cartesian
+        // identity metric.
+        let pde = Elastic;
+        let h = 1e-6;
+        let x = [0.3, 0.45, 0.62];
+        let t = 0.11;
+        let m = VARS + PARAMS;
+        let eval = |x: [f64; 3], t: f64| -> Vec<f64> {
+            let mut q = vec![0.0; m];
+            w.evaluate(x, t, &mut q);
+            Elastic::set_params(&mut q, w.material, &Elastic::IDENTITY_JAC);
+            q
+        };
+        let qt: Vec<f64> = {
+            let qp = eval(x, t + h);
+            let qm = eval(x, t - h);
+            (0..VARS).map(|s| (qp[s] - qm[s]) / (2.0 * h)).collect()
+        };
+        let mut div_f = [0.0; VARS];
+        for d in 0..3 {
+            let mut xp = x;
+            xp[d] += h;
+            let mut xm = x;
+            xm[d] -= h;
+            let mut fp = vec![0.0; m];
+            let mut fm = vec![0.0; m];
+            pde.flux(d, &eval(xp, t), &mut fp);
+            pde.flux(d, &eval(xm, t), &mut fm);
+            for s in 0..VARS {
+                div_f[s] += (fp[s] - fm[s]) / (2.0 * h);
+            }
+        }
+        for s in 0..VARS {
+            assert!(
+                (qt[s] - div_f[s]).abs() < 2e-3 * (1.0 + qt[s].abs()),
+                "s={s}: {} vs {}",
+                qt[s],
+                div_f[s]
+            );
+        }
+    }
+
+    #[test]
+    fn wavespeed_scales_with_metric() {
+        let pde = Elastic;
+        let mut q = cart_state([0.0; 3], [0.0; 6]);
+        assert!((pde.max_wavespeed(0, &q) - MAT.cp).abs() < 1e-13);
+        let jac = [2.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        Elastic::set_params(&mut q, MAT, &jac);
+        assert!((pde.max_wavespeed(0, &q) - 2.0 * MAT.cp).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,192 @@
+//! Point sources `δ_x0` (paper eq. 1) and their source-time functions.
+//!
+//! The Cauchy-Kowalewsky predictor needs *time derivatives* of the source
+//! term at `t_n` up to the scheme's order (Fig. 1:
+//! `derive(pointSource(t), dim = time, order = o)`), so every source-time
+//! function provides exact analytic derivatives of arbitrary order —
+//! Gaussian-family wavelets via probabilists' Hermite polynomials:
+//! `dⁿ/dxⁿ e^{−x²/2} = (−1)ⁿ Heₙ(x) e^{−x²/2}`.
+
+/// Source-time functions used in seismic benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceTimeFunction {
+    /// `g(t) = exp(−(t − t0)² / (2σ²))`.
+    Gaussian {
+        /// Centre time.
+        t0: f64,
+        /// Width.
+        sigma: f64,
+    },
+    /// Ricker wavelet `(1 − 2π²f²(t−t0)²) exp(−π²f²(t−t0)²)` — the LOH1
+    /// standard; equals `−σ² g''(t)` with `σ = 1/(√2 π f)`.
+    Ricker {
+        /// Centre time.
+        t0: f64,
+        /// Dominant frequency.
+        frequency: f64,
+    },
+    /// `sin(ω t)` — convenient for exact-solution checks.
+    Sine {
+        /// Angular frequency.
+        omega: f64,
+    },
+}
+
+/// Evaluates probabilists' Hermite polynomials `He_0..He_n` at `x`.
+fn hermite_all(n: usize, x: f64) -> Vec<f64> {
+    let mut h = Vec::with_capacity(n + 1);
+    h.push(1.0);
+    if n >= 1 {
+        h.push(x);
+    }
+    for k in 1..n {
+        let next = x * h[k] - k as f64 * h[k - 1];
+        h.push(next);
+    }
+    h
+}
+
+/// `dⁿ/dtⁿ exp(−((t−t0)/σ)²/2)` for `n = 0..=order`, exact.
+fn gaussian_derivatives(t: f64, t0: f64, sigma: f64, order: usize) -> Vec<f64> {
+    let x = (t - t0) / sigma;
+    let g = (-0.5 * x * x).exp();
+    let he = hermite_all(order, x);
+    (0..=order)
+        .map(|n| {
+            let sign = if n % 2 == 0 { 1.0 } else { -1.0 };
+            sign * he[n] * g / sigma.powi(n as i32)
+        })
+        .collect()
+}
+
+impl SourceTimeFunction {
+    /// Value at `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        self.derivatives(t, 0)[0]
+    }
+
+    /// Exact derivatives `g⁽ⁿ⁾(t)` for `n = 0..=order`.
+    pub fn derivatives(&self, t: f64, order: usize) -> Vec<f64> {
+        match *self {
+            SourceTimeFunction::Gaussian { t0, sigma } => {
+                gaussian_derivatives(t, t0, sigma, order)
+            }
+            SourceTimeFunction::Ricker { t0, frequency } => {
+                let sigma = 1.0 / (std::f64::consts::SQRT_2 * std::f64::consts::PI * frequency);
+                let g = gaussian_derivatives(t, t0, sigma, order + 2);
+                let s2 = sigma * sigma;
+                (0..=order).map(|n| -s2 * g[n + 2]).collect()
+            }
+            SourceTimeFunction::Sine { omega } => (0..=order)
+                .map(|n| {
+                    let w = omega.powi(n as i32);
+                    match n % 4 {
+                        0 => w * (omega * t).sin(),
+                        1 => w * (omega * t).cos(),
+                        2 => -w * (omega * t).sin(),
+                        _ => -w * (omega * t).cos(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point source `A · stf(t) · δ(x − x0)`: position, per-quantity
+/// amplitude vector, and source-time function.
+#[derive(Debug, Clone)]
+pub struct PointSource {
+    /// Source location (physical coordinates).
+    pub position: [f64; 3],
+    /// Amplitude per evolved quantity (e.g. a moment-rate pattern applied
+    /// to the stress components in LOH1).
+    pub amplitude: Vec<f64>,
+    /// Time dependence.
+    pub stf: SourceTimeFunction,
+}
+
+impl PointSource {
+    /// Time derivatives of the source amplitude for every quantity:
+    /// `out[n][s] = A_s · stf⁽ⁿ⁾(t)`, `n = 0..=order`.
+    pub fn amplitude_derivatives(&self, t: f64, order: usize) -> Vec<Vec<f64>> {
+        let d = self.stf.derivatives(t, order);
+        d.iter()
+            .map(|&dn| self.amplitude.iter().map(|&a| a * dn).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_derivative(f: impl Fn(f64) -> f64, t: f64, h: f64) -> f64 {
+        (f(t + h) - f(t - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn hermite_recurrence_values() {
+        // He_2 = x² − 1, He_3 = x³ − 3x.
+        let h = hermite_all(3, 0.7);
+        assert!((h[2] - (0.49 - 1.0)).abs() < 1e-14);
+        assert!((h[3] - (0.343 - 2.1)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gaussian_derivatives_match_finite_differences() {
+        let stf = SourceTimeFunction::Gaussian { t0: 0.4, sigma: 0.15 };
+        for &t in &[0.1, 0.35, 0.4, 0.6] {
+            let d = stf.derivatives(t, 3);
+            let fd1 = fd_derivative(|s| stf.value(s), t, 1e-6);
+            assert!((d[1] - fd1).abs() < 1e-5 * (1.0 + fd1.abs()), "t={t}");
+            let fd2 = fd_derivative(|s| stf.derivatives(s, 1)[1], t, 1e-6);
+            assert!((d[2] - fd2).abs() < 1e-4 * (1.0 + fd2.abs()), "t={t}");
+        }
+    }
+
+    #[test]
+    fn ricker_shape_and_derivatives() {
+        let stf = SourceTimeFunction::Ricker {
+            t0: 1.0,
+            frequency: 2.0,
+        };
+        // Peak value 1 at t0.
+        assert!((stf.value(1.0) - 1.0).abs() < 1e-12);
+        // Zero crossings at t0 ± 1/(√2 π f).
+        let z = 1.0 / (std::f64::consts::SQRT_2 * std::f64::consts::PI * 2.0);
+        assert!(stf.value(1.0 + z).abs() < 1e-12);
+        // Derivative at the peak is zero, second derivative negative.
+        let d = stf.derivatives(1.0, 2);
+        assert!(d[1].abs() < 1e-12);
+        assert!(d[2] < 0.0);
+        // FD check away from the peak.
+        let t = 1.13;
+        let fd1 = fd_derivative(|s| stf.value(s), t, 1e-6);
+        assert!((stf.derivatives(t, 1)[1] - fd1).abs() < 1e-4 * (1.0 + fd1.abs()));
+    }
+
+    #[test]
+    fn sine_derivatives_cycle() {
+        let stf = SourceTimeFunction::Sine { omega: 3.0 };
+        let t = 0.21;
+        let d = stf.derivatives(t, 4);
+        assert!((d[0] - (3.0 * t).sin()).abs() < 1e-14);
+        assert!((d[1] - 3.0 * (3.0 * t).cos()).abs() < 1e-14);
+        assert!((d[4] - 81.0 * (3.0 * t).sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_source_scales_amplitudes() {
+        let src = PointSource {
+            position: [0.5; 3],
+            amplitude: vec![0.0, 2.0, -1.0],
+            stf: SourceTimeFunction::Gaussian { t0: 0.0, sigma: 1.0 },
+        };
+        let d = src.amplitude_derivatives(0.0, 2);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0], vec![0.0, 2.0, -1.0]); // g(0) = 1
+        assert_eq!(d[1], vec![0.0, 0.0, 0.0]); // g'(0) = 0
+        // g''(0) = -1/σ² = -1.
+        assert_eq!(d[2], vec![0.0, -2.0, 1.0]);
+    }
+}

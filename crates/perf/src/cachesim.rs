@@ -1,0 +1,322 @@
+//! Set-associative LRU cache simulator.
+//!
+//! Substitute for VTune's memory-stall measurements (paper Figs. 4, 6, 10):
+//! kernel variants replay their memory-access pattern at cache-line
+//! granularity through a two/three-level LRU hierarchy configured like the
+//! paper's Intel Xeon Platinum 8174 (Skylake SP: 32 KiB L1d / 8-way,
+//! 1 MiB L2 / 16-way per core). The mechanism under study — LoG temporaries
+//! overflowing the 1 MiB L2 from order 6 while SplitCK stays resident — is
+//! a pure working-set/replacement effect that this model captures.
+
+/// Cache line size in bytes (Skylake, and our alignment unit).
+pub const LINE_BYTES: usize = 64;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / (LINE_BYTES * self.ways)
+    }
+}
+
+/// Hit/miss counters for one level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Accesses that hit in this level.
+    pub hits: u64,
+    /// Accesses that missed and were forwarded down.
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Total accesses seen by this level.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio (0 if never accessed).
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+}
+
+/// One set-associative LRU cache level.
+#[derive(Debug, Clone)]
+struct Level {
+    sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags` (higher = more recent).
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: LevelStats,
+}
+
+impl Level {
+    fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets().max(1);
+        let ways = cfg.ways.max(1);
+        Self {
+            sets,
+            ways,
+            tags: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+            stats: LevelStats::default(),
+        }
+    }
+
+    /// Accesses `line` (line index, not byte address); returns true on hit.
+    fn access(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        let set = (line as usize) % self.sets;
+        let base = set * self.ways;
+        let slots = base..base + self.ways;
+        // Hit?
+        for i in slots.clone() {
+            if self.tags[i] == line {
+                self.stamps[i] = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        // Miss: fill the LRU way.
+        self.stats.misses += 1;
+        let mut victim = base;
+        for i in slots {
+            if self.tags[i] == u64::MAX {
+                victim = i;
+                break;
+            }
+            if self.stamps[i] < self.stamps[victim] {
+                victim = i;
+            }
+        }
+        self.tags[victim] = line;
+        self.stamps[victim] = self.clock;
+        false
+    }
+}
+
+/// Aggregate hit/miss statistics of a simulated hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// L1 data cache.
+    pub l1: LevelStats,
+    /// L2 (the 1 MiB per-core cache at the centre of the paper's analysis).
+    pub l2: LevelStats,
+    /// L3 (shared; modelled per-core slice as a last level before DRAM).
+    pub l3: LevelStats,
+    /// Accesses that missed every level (DRAM).
+    pub dram: u64,
+}
+
+/// A multi-level cache hierarchy with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    l1: Level,
+    l2: Level,
+    l3: Option<Level>,
+}
+
+impl CacheSim {
+    /// Builds a hierarchy; `l3 = None` models only the per-core caches.
+    pub fn new(l1: CacheConfig, l2: CacheConfig, l3: Option<CacheConfig>) -> Self {
+        Self {
+            l1: Level::new(l1),
+            l2: Level::new(l2),
+            l3: l3.map(Level::new),
+        }
+    }
+
+    /// The paper's Skylake SP core: 32 KiB / 8-way L1d, 1 MiB / 16-way L2,
+    /// and a 1.375 MiB / 11-way L3 slice.
+    pub fn skylake_sp() -> Self {
+        Self::new(
+            CacheConfig {
+                capacity: 32 * 1024,
+                ways: 8,
+            },
+            CacheConfig {
+                capacity: 1024 * 1024,
+                ways: 16,
+            },
+            Some(CacheConfig {
+                capacity: 1408 * 1024,
+                ways: 11,
+            }),
+        )
+    }
+
+    /// Touches every cache line in `[addr, addr + bytes)`.
+    pub fn touch(&mut self, addr: usize, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let first = addr / LINE_BYTES;
+        let last = (addr + bytes - 1) / LINE_BYTES;
+        for line in first..=last {
+            self.access_line(line as u64);
+        }
+    }
+
+    /// Accesses a single cache line by index.
+    pub fn access_line(&mut self, line: u64) {
+        if self.l1.access(line) {
+            return;
+        }
+        if self.l2.access(line) {
+            return;
+        }
+        if let Some(l3) = &mut self.l3 {
+            if l3.access(line) {
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let l3 = self.l3.as_ref().map(|l| l.stats).unwrap_or_default();
+        let dram = match &self.l3 {
+            Some(l) => l.stats.misses,
+            None => self.l2.stats.misses,
+        };
+        CacheStats {
+            l1: self.l1.stats,
+            l2: self.l2.stats,
+            l3,
+            dram,
+        }
+    }
+
+    /// Clears counters but keeps cache contents (to measure steady state
+    /// after a warm-up pass).
+    pub fn reset_stats(&mut self) {
+        self.l1.stats = LevelStats::default();
+        self.l2.stats = LevelStats::default();
+        if let Some(l3) = &mut self.l3 {
+            l3.stats = LevelStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheSim {
+        // L1: 4 sets x 2 ways x 64B = 512 B; L2: 16 lines = 1 KiB.
+        CacheSim::new(
+            CacheConfig {
+                capacity: 512,
+                ways: 2,
+            },
+            CacheConfig {
+                capacity: 1024,
+                ways: 4,
+            },
+            None,
+        )
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = tiny();
+        c.touch(0, 8);
+        c.touch(0, 8);
+        c.touch(8, 8); // same line
+        let s = c.stats();
+        assert_eq!(s.l1.misses, 1);
+        assert_eq!(s.l1.hits, 2);
+        assert_eq!(s.l2.misses, 1);
+    }
+
+    #[test]
+    fn touch_spans_lines() {
+        let mut c = tiny();
+        c.touch(0, 129); // lines 0, 1, 2
+        assert_eq!(c.stats().l1.accesses(), 3);
+    }
+
+    #[test]
+    fn working_set_larger_than_l1_spills_to_l2() {
+        let mut c = tiny();
+        // 16 lines > 8-line L1, fits 16-line L2. Two sweeps:
+        for _ in 0..2 {
+            for i in 0..16 {
+                c.access_line(i);
+            }
+        }
+        let s = c.stats();
+        // First sweep: 16 L1 misses -> L2 misses. Second sweep: L1 misses
+        // again (capacity), but L2 hits.
+        assert_eq!(s.l1.misses, 32);
+        assert_eq!(s.l2.misses, 16);
+        assert_eq!(s.l2.hits, 16);
+    }
+
+    #[test]
+    fn working_set_larger_than_l2_thrashes() {
+        let mut c = tiny();
+        // 32 lines > 16-line L2: streaming sweeps always miss everywhere.
+        for _ in 0..3 {
+            for i in 0..32 {
+                c.access_line(i);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.l2.hits, 0);
+        assert_eq!(s.dram, 96);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Direct test on one set: L1 has 4 sets, so lines 0, 4, 8 map to
+        // set 0 with 2 ways.
+        let mut c = tiny();
+        c.access_line(0);
+        c.access_line(4);
+        c.access_line(0); // refresh 0 -> LRU is 4
+        c.access_line(8); // evicts 4
+        c.access_line(0); // still hit
+        c.access_line(4); // miss
+        let s = c.stats();
+        assert_eq!(s.l1.hits, 2);
+        assert_eq!(s.l1.misses, 4);
+    }
+
+    #[test]
+    fn skylake_config_geometry() {
+        let cfg = CacheConfig {
+            capacity: 1024 * 1024,
+            ways: 16,
+        };
+        assert_eq!(cfg.sets(), 1024);
+        let _ = CacheSim::skylake_sp();
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny();
+        c.access_line(3);
+        c.reset_stats();
+        c.access_line(3);
+        let s = c.stats();
+        assert_eq!(s.l1.hits, 1);
+        assert_eq!(s.l1.misses, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Memory-footprint formulas for the STP kernel variants (paper Sec. IV-A).
+//!
+//! The paper's analysis: the generic/LoG algorithm keeps the whole
+//! space-time predictor and its per-order fluctuations, `O(N^{d+1} m d)`
+//! doubles of temporaries; for a 3-D medium-sized problem (`m = 25`) this
+//! exceeds the 1 MiB L2 as soon as `N = 6`. SplitCK's on-the-fly time
+//! integration and per-dimension tensor reuse cut this to `O(N^d m)`.
+
+/// Spatial dimension of the solver (the paper's benchmarks are 3-D).
+pub const DIM: usize = 3;
+
+/// Temporaries of the generic / LoG Cauchy-Kowalewsky algorithm (Fig. 1),
+/// in doubles (unpadded `m`; the analytic formula of Sec. IV-A):
+/// `p[(N+1)·N³·m] + dF[N·d·N³·m]` plus the order-independent
+/// `qavg[N³·m] + favg[d·N³·m]`.
+pub fn generic_temporaries_doubles(n: usize, m: usize) -> usize {
+    let vol = n * n * n * m;
+    let p = (n + 1) * vol;
+    let d_f = n * DIM * vol;
+    let qavg = vol;
+    let favg = DIM * vol;
+    p + d_f + qavg + favg
+}
+
+/// Temporaries of the SplitCK algorithm (Fig. 5), in doubles: one tensor
+/// each for `p`, `ptemp`, `flux`, `gradQ` (the non-conservative update
+/// accumulates directly into `ptemp`), plus the output accumulators
+/// `qavg` and `favg[d]`.
+pub fn splitck_temporaries_doubles(n: usize, m: usize) -> usize {
+    let vol = n * n * n * m;
+    4 * vol + vol + DIM * vol
+}
+
+/// Working set of the SplitCK *time loop* in doubles: the buffers touched
+/// every Cauchy-Kowalewsky iteration (`p`, `ptemp`, `flux`, `gradQ`,
+/// `qavg`); `favg` is only written in the post-loop flux recomputation.
+/// This is the quantity that must stay L2-resident for the paper's
+/// steadily-decreasing stall curve.
+pub fn splitck_timeloop_working_set_doubles(n: usize, m: usize) -> usize {
+    5 * n * n * n * m
+}
+
+/// Bytes versions of the formulas.
+pub fn generic_temporaries_bytes(n: usize, m: usize) -> usize {
+    generic_temporaries_doubles(n, m) * 8
+}
+
+/// See [`splitck_temporaries_doubles`].
+pub fn splitck_temporaries_bytes(n: usize, m: usize) -> usize {
+    splitck_temporaries_doubles(n, m) * 8
+}
+
+/// Smallest order whose generic-variant temporaries exceed `capacity`
+/// bytes (the paper's "1 MB limit will be exceeded as soon as N = 6" for
+/// `m = 25`). Returns `None` if no order up to 32 overflows.
+pub fn l2_overflow_order(m: usize, capacity_bytes: usize) -> Option<usize> {
+    (1..=32).find(|&n| generic_temporaries_bytes(n, m) > capacity_bytes)
+}
+
+/// Footprint-reduction factor of SplitCK over generic at a given order —
+/// the paper quotes "a full time dimension" (factor `N + 1`) "plus a
+/// factor 3" (dimension reuse).
+pub fn splitck_reduction_factor(n: usize, m: usize) -> f64 {
+    generic_temporaries_doubles(n, m) as f64 / splitck_temporaries_doubles(n, m) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_claim_m25_overflows_l2_at_order_6() {
+        // Sec. IV-A: m = 25, d = 3, 1 MiB L2 → overflow at N = 6.
+        assert_eq!(l2_overflow_order(25, 1024 * 1024), Some(6));
+    }
+
+    #[test]
+    fn benchmark_m21_also_overflows_at_6() {
+        // The evaluation uses m = 21; the crossover stays at order 6.
+        assert_eq!(l2_overflow_order(21, 1024 * 1024), Some(6));
+    }
+
+    #[test]
+    fn splitck_fits_l2_through_order_10() {
+        // The time-loop working set of SplitCK stays L2-resident across the
+        // paper's measured range (at order 11 it reaches the capacity edge,
+        // consistent with its stalls still decreasing but non-zero).
+        for n in 4..=10 {
+            let ws = splitck_timeloop_working_set_doubles(n, 21) * 8;
+            assert!(ws < 1024 * 1024, "order {n}: {ws} bytes");
+        }
+    }
+
+    #[test]
+    fn splitck_much_smaller_than_generic_at_order_11() {
+        let r = splitck_reduction_factor(11, 21);
+        assert!(r > 5.0, "reduction factor {r}");
+    }
+
+    #[test]
+    fn asymptotic_scaling() {
+        // Generic grows ~N^4, SplitCK ~N^3: doubling N multiplies the ratio
+        // generic/splitck by ~2.
+        let r6 = splitck_reduction_factor(6, 21);
+        let r12 = splitck_reduction_factor(12, 21);
+        assert!(r12 / r6 > 1.8 && r12 / r6 < 2.2, "r6={r6} r12={r12}");
+    }
+
+    #[test]
+    fn reduction_factor_exceeds_time_dimension() {
+        // At order 8 the reduction should be at least (N+1)·d / 9 ≈ several x.
+        let r = splitck_reduction_factor(8, 21);
+        assert!(r > 3.0, "r={r}");
+    }
+
+    #[test]
+    fn formulas_monotone() {
+        for n in 2..12 {
+            assert!(generic_temporaries_doubles(n + 1, 21) > generic_temporaries_doubles(n, 21));
+            assert!(splitck_temporaries_doubles(n + 1, 21) > splitck_temporaries_doubles(n, 21));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Matrix-slice views over tensors (paper Fig. 3).
+//!
+//! A tensor stored linearly can expose 2-D matrix slices without copying by
+//! recording an *offset* (slices along the two fastest dimensions) and a
+//! *slice stride* (slices along a slower dimension, interpreted by the GEMM
+//! as a padded leading dimension). The paper feeds exactly these
+//! offset+stride views to LIBXSMM; we feed them to `aderdg-gemm`.
+
+/// Read-only `rows × cols` matrix view with an explicit row stride,
+/// referencing a sub-range of a flat buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct MatView<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+}
+
+impl<'a> MatView<'a> {
+    /// Creates a view of `rows × cols` entries starting at `offset`, rows
+    /// `row_stride` doubles apart. Panics if the view would read out of
+    /// bounds.
+    pub fn new(data: &'a [f64], offset: usize, rows: usize, cols: usize, row_stride: usize) -> Self {
+        assert!(row_stride >= cols || rows <= 1, "row stride shorter than a row");
+        let end = if rows == 0 || cols == 0 {
+            offset
+        } else {
+            offset + (rows - 1) * row_stride + cols
+        };
+        assert!(end <= data.len(), "matrix view out of bounds");
+        Self {
+            data: &data[offset..],
+            rows,
+            cols,
+            row_stride,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Distance between row starts, in doubles (the GEMM leading dimension).
+    #[inline]
+    pub fn row_stride(&self) -> usize {
+        self.row_stride
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.row_stride + j]
+    }
+
+    /// Row `i` as a contiguous slice of `cols` doubles.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.row_stride..i * self.row_stride + self.cols]
+    }
+
+    /// The raw underlying storage from the view's origin (used by GEMM
+    /// kernels that take `(&[f64], ld)` pairs).
+    #[inline]
+    pub fn raw(&self) -> &[f64] {
+        self.data
+    }
+
+    /// Copies the view into a dense `rows × cols` `Vec` (row-major).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for i in 0..self.rows {
+            out.extend_from_slice(self.row(i));
+        }
+        out
+    }
+}
+
+/// Mutable counterpart of [`MatView`].
+#[derive(Debug)]
+pub struct MatViewMut<'a> {
+    data: &'a mut [f64],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+}
+
+impl<'a> MatViewMut<'a> {
+    /// See [`MatView::new`].
+    pub fn new(
+        data: &'a mut [f64],
+        offset: usize,
+        rows: usize,
+        cols: usize,
+        row_stride: usize,
+    ) -> Self {
+        assert!(row_stride >= cols || rows <= 1, "row stride shorter than a row");
+        let end = if rows == 0 || cols == 0 {
+            offset
+        } else {
+            offset + (rows - 1) * row_stride + cols
+        };
+        assert!(end <= data.len(), "matrix view out of bounds");
+        Self {
+            data: &mut data[offset..],
+            rows,
+            cols,
+            row_stride,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension.
+    #[inline]
+    pub fn row_stride(&self) -> usize {
+        self.row_stride
+    }
+
+    /// Element `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.row_stride + j]
+    }
+
+    /// Sets element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.row_stride + j] = v;
+    }
+
+    /// Mutable contiguous row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.row_stride..i * self.row_stride + self.cols]
+    }
+
+    /// Raw storage from the view origin.
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        self.data
+    }
+
+    /// Downgrades to a read-only view.
+    #[inline]
+    pub fn as_view(&self) -> MatView<'_> {
+        MatView {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            row_stride: self.row_stride,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3x2x3 tensor A[k][j][i] as in paper Fig. 3, stored row-major.
+    fn fig3_tensor() -> Vec<f64> {
+        (0..18).map(|x| x as f64).collect()
+    }
+
+    #[test]
+    fn contiguous_slice_along_fastest_dims() {
+        // A(1,:,:) — fix k=1: a 2x3 contiguous matrix at offset 6.
+        let t = fig3_tensor();
+        let v = MatView::new(&t, 6, 2, 3, 3);
+        assert_eq!(v.to_dense(), vec![6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn strided_slice_along_slow_dim() {
+        // A(:,1,:) — fix j=1: a 3x3 matrix whose rows are 6 apart
+        // (the "slice stride" of Fig. 3).
+        let t = fig3_tensor();
+        let v = MatView::new(&t, 3, 3, 3, 6);
+        assert_eq!(
+            v.to_dense(),
+            vec![3.0, 4.0, 5.0, 9.0, 10.0, 11.0, 15.0, 16.0, 17.0]
+        );
+        assert_eq!(v.get(2, 1), 16.0);
+    }
+
+    #[test]
+    fn mutation_respects_stride() {
+        let mut t = vec![0.0; 12];
+        {
+            let mut v = MatViewMut::new(&mut t, 1, 2, 2, 5);
+            v.set(0, 0, 1.0);
+            v.set(0, 1, 2.0);
+            v.set(1, 0, 3.0);
+            v.row_mut(1)[1] = 4.0;
+            assert_eq!(v.get(1, 1), 4.0);
+        }
+        assert_eq!(t, vec![0.0, 1.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn view_of_view_mut_roundtrip() {
+        let mut t: Vec<f64> = (0..9).map(|x| x as f64).collect();
+        let v = MatViewMut::new(&mut t, 0, 3, 3, 3);
+        let r = v.as_view();
+        assert_eq!(r.get(1, 2), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_rejected() {
+        let t = vec![0.0; 10];
+        let _ = MatView::new(&t, 0, 3, 3, 4);
+    }
+
+    #[test]
+    fn empty_views_allowed() {
+        let t = vec![0.0; 4];
+        let v = MatView::new(&t, 4, 0, 3, 3);
+        assert_eq!(v.rows(), 0);
+        assert!(v.to_dense().is_empty());
+    }
+}

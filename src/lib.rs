@@ -1,0 +1,53 @@
+//! # aderdg — facade crate
+//!
+//! Re-exports the full workspace: tensor layouts, quadrature operators,
+//! small-GEMM kernels, performance model, PDE definitions, mesh, and the
+//! ADER-DG engine with its four Space-Time Predictor kernel variants
+//! (reproduction of Gallard et al., IPDPS 2020).
+//!
+//! ## Example
+//!
+//! Propagate an acoustic plane wave with the paper's cache-aware SplitCK
+//! predictor and check it against the exact solution:
+//!
+//! ```
+//! use aderdg::core::{Engine, EngineConfig, KernelVariant};
+//! use aderdg::mesh::StructuredMesh;
+//! use aderdg::pde::{Acoustic, AcousticPlaneWave, ExactSolution};
+//!
+//! let wave = AcousticPlaneWave {
+//!     direction: [1.0, 0.0, 0.0],
+//!     amplitude: 1.0,
+//!     wavenumber: 1.0,
+//!     rho: 1.0,
+//!     bulk: 1.0,
+//! };
+//! let mesh = StructuredMesh::unit_cube(2);
+//! let cfg = EngineConfig::new(4).with_variant(KernelVariant::SplitCk);
+//! let mut engine = Engine::new(mesh, Acoustic, cfg);
+//! engine.set_initial(|x, q| {
+//!     wave.evaluate(x, 0.0, q);
+//!     Acoustic::set_params(q, 1.0, 1.0);
+//! });
+//! engine.run_until(0.05);
+//! assert!(engine.l2_error(&wave) < 5e-2);
+//! ```
+//!
+//! Or drive the engine from a specification file, as in the paper's
+//! toolkit workflow:
+//!
+//! ```
+//! use aderdg::core::{KernelVariant, SolverSpec};
+//!
+//! let spec = SolverSpec::parse("order = 6\nkernel = aosoa_splitck\n").unwrap();
+//! assert_eq!(spec.variant, KernelVariant::AoSoASplitCk);
+//! let _config = spec.engine_config();
+//! ```
+
+pub use aderdg_core as core;
+pub use aderdg_gemm as gemm;
+pub use aderdg_mesh as mesh;
+pub use aderdg_pde as pde;
+pub use aderdg_perf as perf;
+pub use aderdg_quadrature as quadrature;
+pub use aderdg_tensor as tensor;
