@@ -8,27 +8,16 @@
 //! * **userfun** — vectorized vs pointwise elastic flux on an x-line
 //!   (Fig. 8).
 
+use aderdg_bench::harness;
 use aderdg_gemm::{Gemm, GemmSpec};
 use aderdg_pde::{Elastic, LinearPde, Material};
-use aderdg_tensor::{aos_to_aosoa, aosoa_to_aos, DofLayout, SimdWidth};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use aderdg_tensor::{aos_to_aosoa, aosoa_to_aos, DofLayout, Lcg, SimdWidth};
 
-fn rand_vec(len: usize, mut seed: u64) -> Vec<f64> {
-    (0..len)
-        .map(|_| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-        })
-        .collect()
+fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+    Lcg::new(seed).vec(len, -0.5, 0.5)
 }
 
-fn bench_padding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_padding");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800));
+fn bench_padding() {
     // m = 21: tight rows (ld 21, unaligned vector tails) vs padded (ld 24).
     let n = 8;
     for (label, ld) in [("tight_ld21", 21usize), ("padded_ld24", 24)] {
@@ -46,7 +35,7 @@ fn bench_padding(c: &mut Criterion) {
         let b = rand_vec(n * ld, 2);
         let mut out = vec![0.0; n * ld];
         let plan = Gemm::new(spec);
-        group.bench_function(label, |bch| bch.iter(|| plan.execute(&a, &b, &mut out)));
+        harness::bench("ablation_padding", label, || plan.execute(&a, &b, &mut out));
     }
     // Padded *and* computing the padding columns (n = 24 columns): the
     // paper's actual choice — full vectors, no masking.
@@ -55,18 +44,12 @@ fn bench_padding(c: &mut Criterion) {
     let b = rand_vec(n * 24, 2);
     let mut out = vec![0.0; n * 24];
     let plan = Gemm::new(spec);
-    group.bench_function("padded_compute_pad_cols", |bch| {
-        bch.iter(|| plan.execute(&a, &b, &mut out))
+    harness::bench("ablation_padding", "padded_compute_pad_cols", || {
+        plan.execute(&a, &b, &mut out)
     });
-    group.finish();
 }
 
-fn bench_fusion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_fusion");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800));
+fn bench_fusion() {
     // y-derivative over an n³ AoS tensor: fused (one GEMM of width n·m_pad
     // per k3) vs unfused (n separate GEMMs of width m_pad).
     let n = 8usize;
@@ -86,12 +69,17 @@ fn bench_fusion(c: &mut Criterion) {
         alpha: 1.0,
         beta: 0.0,
     });
-    group.bench_function(BenchmarkId::new("fused", n), |bch| {
-        bch.iter(|| {
-            for k3 in 0..n {
-                fused.execute_offset(&d, 0, &src, k3 * n * n * m_pad, &mut dst, k3 * n * n * m_pad);
-            }
-        })
+    harness::bench("ablation_fusion", "fused", || {
+        for k3 in 0..n {
+            fused.execute_offset(
+                &d,
+                0,
+                &src,
+                k3 * n * n * m_pad,
+                &mut dst,
+                k3 * n * n * m_pad,
+            );
+        }
     });
 
     let unfused = Gemm::new(GemmSpec {
@@ -104,47 +92,31 @@ fn bench_fusion(c: &mut Criterion) {
         alpha: 1.0,
         beta: 0.0,
     });
-    group.bench_function(BenchmarkId::new("unfused", n), |bch| {
-        bch.iter(|| {
-            for k3 in 0..n {
-                for k1 in 0..n {
-                    let off = k3 * n * n * m_pad + k1 * m_pad;
-                    unfused.execute_offset(&d, 0, &src, off, &mut dst, off);
-                }
+    harness::bench("ablation_fusion", "unfused", || {
+        for k3 in 0..n {
+            for k1 in 0..n {
+                let off = k3 * n * n * m_pad + k1 * m_pad;
+                unfused.execute_offset(&d, 0, &src, off, &mut dst, off);
             }
-        })
+        }
     });
-    group.finish();
 }
 
-fn bench_transpose(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_transpose");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800));
+fn bench_transpose() {
     for n in [6usize, 9] {
         let aos = DofLayout::aos(n, 21, SimdWidth::W8);
         let aosoa = DofLayout::aosoa(n, 21, SimdWidth::W8);
         let src = rand_vec(aos.len(), 5);
         let mut hybrid = vec![0.0; aosoa.len()];
         let mut back = vec![0.0; aos.len()];
-        group.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |bch, _| {
-            bch.iter(|| {
-                aos_to_aosoa(&src, &aos, &mut hybrid, &aosoa);
-                aosoa_to_aos(&hybrid, &aosoa, &mut back, &aos);
-            })
+        harness::bench("ablation_transpose", &format!("roundtrip/{n}"), || {
+            aos_to_aosoa(&src, &aos, &mut hybrid, &aosoa);
+            aosoa_to_aos(&hybrid, &aosoa, &mut back, &aos);
         });
     }
-    group.finish();
 }
 
-fn bench_userfun(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_userfun");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800));
+fn bench_userfun() {
     // One x-line of n = 8 nodes, m = 21 quantities: vectorized SoA call
     // (Fig. 8) vs pointwise AoS loop.
     let pde = Elastic;
@@ -169,12 +141,10 @@ fn bench_userfun(c: &mut Criterion) {
         }
     }
     let mut f_soa = vec![0.0; m * stride];
-    group.bench_function("vectorized_xline", |bch| {
-        bch.iter(|| {
-            for d in 0..3 {
-                pde.flux_vect(d, &q_soa, &mut f_soa, n, stride);
-            }
-        })
+    harness::bench("ablation_userfun", "vectorized_xline", || {
+        for d in 0..3 {
+            pde.flux_vect(d, &q_soa, &mut f_soa, n, stride);
+        }
     });
     // Pointwise on the same data (AoS gather).
     let mut q_aos = vec![0.0; n * m];
@@ -184,24 +154,19 @@ fn bench_userfun(c: &mut Criterion) {
         }
     }
     let mut f_aos = vec![0.0; n * m];
-    group.bench_function("pointwise_loop", |bch| {
-        bch.iter(|| {
-            for d in 0..3 {
-                for i in 0..n {
-                    let (qs, fs) = (&q_aos[i * m..(i + 1) * m], &mut f_aos[i * m..(i + 1) * m]);
-                    pde.flux(d, qs, fs);
-                }
+    harness::bench("ablation_userfun", "pointwise_loop", || {
+        for d in 0..3 {
+            for i in 0..n {
+                let (qs, fs) = (&q_aos[i * m..(i + 1) * m], &mut f_aos[i * m..(i + 1) * m]);
+                pde.flux(d, qs, fs);
             }
-        })
+        }
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_padding,
-    bench_fusion,
-    bench_transpose,
-    bench_userfun
-);
-criterion_main!(benches);
+fn main() {
+    bench_padding();
+    bench_fusion();
+    bench_transpose();
+    bench_userfun();
+}

@@ -1,25 +1,15 @@
-//! Criterion micro-benchmarks of the small-GEMM substrate: the derivative
-//! GEMM shapes the kernels actually issue, across ISA levels.
+//! Micro-benchmarks of the small-GEMM substrate: the derivative GEMM
+//! shapes the kernels actually issue, across every registered backend.
 
-use aderdg_gemm::{Gemm, GemmSpec, Isa};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
+use aderdg_bench::harness;
+use aderdg_gemm::{backends, Gemm, GemmSpec};
+use aderdg_tensor::Lcg;
 
-fn rand_vec(len: usize, mut seed: u64) -> Vec<f64> {
-    (0..len)
-        .map(|_| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-        })
-        .collect()
+fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+    Lcg::new(seed).vec(len, -0.5, 0.5)
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
     // The x-derivative slice GEMM of the LoG kernel: D(n×n) · B(n×m_pad).
     for n in [4usize, 6, 8, 11] {
         let m_pad = 24; // m = 21 padded to the AVX-512 width
@@ -27,18 +17,14 @@ fn bench_gemm(c: &mut Criterion) {
         let a = rand_vec(n * n, 3);
         let b = rand_vec(n * m_pad, 4);
         let mut out = vec![0.0; n * m_pad];
-        group.throughput(Throughput::Elements(spec.flops()));
-        for (label, isa) in [
-            ("baseline", Isa::Baseline),
-            ("avx2", Isa::Avx2),
-            ("avx512", Isa::Avx512),
-        ] {
-            let plan = Gemm::with_isa(spec, isa);
-            group.bench_with_input(
-                BenchmarkId::new(label, format!("n{n}xm{m_pad}")),
-                &n,
-                |bch, _| bch.iter(|| plan.execute(&a, &b, &mut out)),
-            );
+        for backend in backends() {
+            if !backend.supported() {
+                continue;
+            }
+            let plan = Gemm::with_backend(spec, *backend);
+            harness::bench("gemm", &format!("{}/n{n}xm{m_pad}", backend.name()), || {
+                plan.execute(&a, &b, &mut out)
+            });
         }
     }
     // The fused z-derivative GEMM: D(n×n) · B(n × n²·m_pad) — one wide GEMM.
@@ -48,14 +34,9 @@ fn bench_gemm(c: &mut Criterion) {
         let a = rand_vec(n * n, 5);
         let b = rand_vec(n * cols, 6);
         let mut out = vec![0.0; n * cols];
-        group.throughput(Throughput::Elements(spec.flops()));
         let plan = Gemm::new(spec);
-        group.bench_with_input(BenchmarkId::new("fused_z", n), &n, |bch, _| {
-            bch.iter(|| plan.execute(&a, &b, &mut out))
+        harness::bench("gemm", &format!("fused_z/{n}"), || {
+            plan.execute(&a, &b, &mut out)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gemm);
-criterion_main!(benches);

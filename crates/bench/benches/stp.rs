@@ -1,22 +1,16 @@
-//! Criterion timing of the four STP kernel variants (elastic m = 21).
+//! Timing of every registered STP kernel (elastic m = 21).
 //!
-//! Complements the figure binaries with statistically careful per-variant
-//! timings at a representative subset of orders.
+//! Complements the figure binaries with per-kernel timings at a
+//! representative subset of orders. Registry-driven: a newly registered
+//! kernel shows up here with zero edits.
 
-use aderdg_bench::{elastic_state, M_ELASTIC};
-use aderdg_core::kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
-use aderdg_core::{KernelVariant, StpConfig, StpPlan};
+use aderdg_bench::{elastic_state, harness, M_ELASTIC};
+use aderdg_core::kernels::{StpInputs, StpOutputs};
+use aderdg_core::{KernelRegistry, StpConfig, StpPlan};
 use aderdg_pde::Elastic;
 use aderdg_tensor::SimdWidth;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 
-fn bench_stp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stp");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1));
+fn main() {
     let pde = Elastic;
     for order in [4usize, 6, 8] {
         let plan = StpPlan::new(
@@ -24,32 +18,22 @@ fn bench_stp(c: &mut Criterion) {
             [0.1; 3],
         );
         let q0 = elastic_state(&plan, 1);
-        for variant in KernelVariant::ALL {
-            let mut scratch = StpScratch::new(variant, &plan);
+        for kernel in KernelRegistry::global().kernels() {
+            let mut scratch = kernel.make_scratch(&plan);
             let mut out = StpOutputs::new(&plan);
-            group.bench_with_input(
-                BenchmarkId::new(variant.name(), order),
-                &order,
-                |b, _| {
-                    b.iter(|| {
-                        run_stp(
-                            &plan,
-                            &pde,
-                            &mut scratch,
-                            &StpInputs {
-                                q0: &q0,
-                                dt: 1e-3,
-                                source: None,
-                            },
-                            &mut out,
-                        )
-                    });
-                },
-            );
+            harness::bench("stp", &format!("{}/{order}", kernel.name()), || {
+                kernel.run(
+                    &plan,
+                    &pde,
+                    scratch.as_mut(),
+                    &StpInputs {
+                        q0: &q0,
+                        dt: 1e-3,
+                        source: None,
+                    },
+                    &mut out,
+                );
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_stp);
-criterion_main!(benches);

@@ -31,7 +31,10 @@ fn main() {
             gen.seconds_per_cell / log512.seconds_per_cell,
         ));
     }
-    println!("\n{:>6} {:>22} {:>22}", "order", "LoG 512b vs 256b", "LoG 512b vs generic");
+    println!(
+        "\n{:>6} {:>22} {:>22}",
+        "order", "LoG 512b vs 256b", "LoG 512b vs generic"
+    );
     for (order, s_width, s_gen) in speedups {
         println!("{order:>6} {s_width:>21.2}x {s_gen:>21.2}x");
     }

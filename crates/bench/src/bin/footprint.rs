@@ -3,7 +3,7 @@
 //! against the actually-allocated scratch, and the L2-overflow order.
 
 use aderdg_bench::M_ELASTIC;
-use aderdg_core::{KernelVariant, StpConfig, StpPlan, StpScratch};
+use aderdg_core::{KernelVariant, StpConfig, StpPlan};
 use aderdg_perf::footprint;
 
 fn main() {
@@ -14,8 +14,8 @@ fn main() {
     );
     for order in 2..=12 {
         let plan = StpPlan::new(StpConfig::new(order, M_ELASTIC), [1.0; 3]);
-        let gen_actual = StpScratch::new(KernelVariant::Generic, &plan).footprint_bytes();
-        let split_actual = StpScratch::new(KernelVariant::SplitCk, &plan).footprint_bytes();
+        let gen_actual = KernelVariant::Generic.kernel().footprint_bytes(&plan);
+        let split_actual = KernelVariant::SplitCk.kernel().footprint_bytes(&plan);
         let gen_f = footprint::generic_temporaries_bytes(order, M_ELASTIC);
         let split_f = footprint::splitck_temporaries_bytes(order, M_ELASTIC);
         println!(
@@ -30,9 +30,9 @@ fn main() {
     }
     for m in [M_ELASTIC, 25] {
         match footprint::l2_overflow_order(m, 1024 * 1024) {
-            Some(n) => println!(
-                "\nm = {m}: generic temporaries exceed the 1 MiB L2 from order N = {n}"
-            ),
+            Some(n) => {
+                println!("\nm = {m}: generic temporaries exceed the 1 MiB L2 from order N = {n}")
+            }
             None => println!("\nm = {m}: no overflow up to order 32"),
         }
     }

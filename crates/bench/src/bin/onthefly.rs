@@ -9,9 +9,8 @@
 //!    (one transpose pair per kernel invocation).
 
 use aderdg_bench::{elastic_state, paper_orders, M_ELASTIC};
-use aderdg_core::kernels::onthefly::{stp_onthefly, OnTheFlyScratch};
-use aderdg_core::kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
-use aderdg_core::{KernelVariant, StpConfig, StpPlan};
+use aderdg_core::kernels::{StpInputs, StpOutputs};
+use aderdg_core::{KernelRegistry, StpConfig, StpPlan};
 use aderdg_pde::Elastic;
 use aderdg_tensor::SimdWidth;
 use std::time::Instant;
@@ -36,27 +35,22 @@ fn main() {
         };
         let reps = 8;
 
-        let time_variant = |variant: KernelVariant| -> f64 {
-            let mut scratch = StpScratch::new(variant, &plan);
+        let time_kernel = |name: &str| -> f64 {
+            let kernel = KernelRegistry::global()
+                .resolve(name)
+                .expect("builtin kernel");
+            let mut scratch = kernel.make_scratch(&plan);
             let mut out = StpOutputs::new(&plan);
-            run_stp(&plan, &pde, &mut scratch, &inputs, &mut out);
+            kernel.run(&plan, &pde, scratch.as_mut(), &inputs, &mut out);
             let t0 = Instant::now();
             for _ in 0..reps {
-                run_stp(&plan, &pde, &mut scratch, &inputs, &mut out);
+                kernel.run(&plan, &pde, scratch.as_mut(), &inputs, &mut out);
             }
             t0.elapsed().as_secs_f64() / reps as f64
         };
-        let t_split = time_variant(KernelVariant::SplitCk);
-        let t_hybrid = time_variant(KernelVariant::AoSoASplitCk);
-
-        let mut scratch = OnTheFlyScratch::new(&plan);
-        let mut out = StpOutputs::new(&plan);
-        stp_onthefly(&plan, &pde, &mut scratch, &inputs, &mut out);
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            stp_onthefly(&plan, &pde, &mut scratch, &inputs, &mut out);
-        }
-        let t_otf = t0.elapsed().as_secs_f64() / reps as f64;
+        let t_split = time_kernel("splitck");
+        let t_hybrid = time_kernel("aosoa_splitck");
+        let t_otf = time_kernel("onthefly");
 
         println!(
             "{order:>6} {:>13.1} µs {:>13.1} µs {:>13.1} µs {:>19.2}x",

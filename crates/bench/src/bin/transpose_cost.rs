@@ -5,9 +5,9 @@
 //! alternative).
 
 use aderdg_bench::{elastic_state, paper_orders, M_ELASTIC};
+use aderdg_core::kernels::{StpInputs, StpOutputs};
+use aderdg_core::KernelRegistry;
 use aderdg_core::{StpConfig, StpPlan};
-use aderdg_core::kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
-use aderdg_core::KernelVariant;
 use aderdg_pde::Elastic;
 use aderdg_tensor::{aos_to_aosoa, aosoa_to_aos, SimdWidth};
 use std::time::Instant;
@@ -46,14 +46,17 @@ fn main() {
         );
 
         let pde = Elastic;
-        let mut scratch = StpScratch::new(KernelVariant::AoSoASplitCk, &plan);
+        let kernel = KernelRegistry::global()
+            .resolve("aosoa_splitck")
+            .expect("builtin kernel");
+        let mut scratch = kernel.make_scratch(&plan);
         let mut out = StpOutputs::new(&plan);
         let t_kernel = time_it(
             || {
-                run_stp(
+                kernel.run(
                     &plan,
                     &pde,
-                    &mut scratch,
+                    scratch.as_mut(),
                     &StpInputs {
                         q0: &q0,
                         dt: 1e-3,

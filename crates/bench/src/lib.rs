@@ -8,7 +8,7 @@
 //! Every binary prints the same series the corresponding paper figure
 //! plots; see DESIGN.md §5 for the experiment index.
 
-use aderdg_core::kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
+use aderdg_core::kernels::{StpInputs, StpOutputs};
 use aderdg_core::mix::{stp_pack_counts, stp_useful_flops, UserFunctionCost};
 use aderdg_core::traces::trace_batch;
 use aderdg_core::{KernelVariant, StpConfig, StpPlan};
@@ -25,10 +25,7 @@ pub const M_ELASTIC: usize = 21;
 /// Orders evaluated in the paper's figures.
 pub fn paper_orders() -> Vec<usize> {
     match std::env::var("ADERDG_ORDERS") {
-        Ok(s) => s
-            .split(',')
-            .filter_map(|t| t.trim().parse().ok())
-            .collect(),
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
         Err(_) => (4..=11).collect(),
     }
 }
@@ -42,11 +39,8 @@ pub fn calibrated_peak_gflops() -> f64 {
 /// Builds a reproducible random elastic state (mildly curvilinear metric,
 /// physical material) in the plan's padded AoS layout.
 pub fn elastic_state(plan: &StpPlan, seed: u64) -> Vec<f64> {
-    let mut rng = seed | 1;
-    let mut next = move || {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((rng >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-    };
+    let mut rng = aderdg_tensor::Lcg::new(seed);
+    let mut next = move || rng.unit();
     let m_pad = plan.aos.m_pad();
     let mat = Material {
         rho: 2.7,
@@ -116,15 +110,16 @@ pub fn measure_stp(
     let states: Vec<Vec<f64>> = (0..cells)
         .map(|c| elastic_state(&plan, 0x9E37 + c as u64))
         .collect();
-    let mut scratch = StpScratch::new(variant, &plan);
+    let kernel = variant.kernel();
+    let mut scratch = kernel.make_scratch(&plan);
     let mut out = StpOutputs::new(&plan);
 
     // Warm-up.
     for q0 in &states {
-        run_stp(
+        kernel.run(
             &plan,
             &pde,
-            &mut scratch,
+            scratch.as_mut(),
             &StpInputs {
                 q0,
                 dt: 1e-3,
@@ -137,10 +132,10 @@ pub fn measure_stp(
     for _ in 0..reps {
         let t0 = Instant::now();
         for q0 in &states {
-            run_stp(
+            kernel.run(
                 &plan,
                 &pde,
-                &mut scratch,
+                scratch.as_mut(),
                 &StpInputs {
                     q0,
                     dt: 1e-3,
@@ -182,7 +177,7 @@ pub fn measure_stp(
         available_fraction: perf.available_fraction(),
         stall_fraction: stall,
         mix: stp_pack_counts(&plan, variant, cost),
-        footprint_bytes: StpScratch::new(variant, &plan).footprint_bytes(),
+        footprint_bytes: kernel.footprint_bytes(&plan),
     }
 }
 
@@ -228,5 +223,44 @@ mod tests {
         // Default covers the paper's range.
         let o = paper_orders();
         assert!(o.contains(&4) && o.contains(&11) || std::env::var("ADERDG_ORDERS").is_ok());
+    }
+}
+
+/// Minimal micro-bench harness (`harness = false` benches) — a criterion
+/// substitute that keeps the workspace free of external dependencies.
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// Times `f` (median of repeated calls after warm-up) and prints one
+    /// aligned row: `group/label   median`.
+    pub fn bench(group: &str, label: &str, mut f: impl FnMut()) -> f64 {
+        for _ in 0..3 {
+            f();
+        }
+        let mut times = Vec::new();
+        let deadline = Instant::now() + Duration::from_millis(300);
+        while times.len() < 10 || (Instant::now() < deadline && times.len() < 2000) {
+            let t0 = Instant::now();
+            f();
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        println!(
+            "{:<48} {:>12}",
+            format!("{group}/{label}"),
+            format_time(median)
+        );
+        median
+    }
+
+    fn format_time(secs: f64) -> String {
+        if secs < 1e-6 {
+            format!("{:.1} ns", secs * 1e9)
+        } else if secs < 1e-3 {
+            format!("{:.2} µs", secs * 1e6)
+        } else {
+            format!("{:.2} ms", secs * 1e3)
+        }
     }
 }

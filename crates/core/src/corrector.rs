@@ -120,7 +120,7 @@ pub fn apply_face(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernels::{run_stp, StpInputs, StpScratch};
+    use crate::kernels::StpInputs;
     use crate::plan::{KernelVariant, StpConfig};
     use aderdg_pde::AdvectionSystem;
 
@@ -156,11 +156,12 @@ mod tests {
         }
         let dt = 0.01;
         let mut out = StpOutputs::new(&plan);
-        let mut scratch = StpScratch::new(KernelVariant::SplitCk, &plan);
-        run_stp(
+        let kernel = KernelVariant::SplitCk.kernel();
+        let mut scratch = kernel.make_scratch(&plan);
+        kernel.run(
             &plan,
             &pde,
-            &mut scratch,
+            scratch.as_mut(),
             &StpInputs {
                 q0: &q,
                 dt,
@@ -175,13 +176,25 @@ mod tests {
         let mut f_star = vec![0.0; plan.face.len()];
         // x-lower face: left neighbour's upper face is our own upper face.
         rusanov_face(
-            &plan, &pde, 0, &out.qface[1], &out.fface[1], &out.qface[0], &out.fface[0],
+            &plan,
+            &pde,
+            0,
+            &out.qface[1],
+            &out.fface[1],
+            &out.qface[0],
+            &out.fface[0],
             &mut f_star,
         );
         apply_face(&plan, 0, 0, &f_star, &out.fface[0], &mut q);
         // x-upper face: right neighbour's lower face is our own lower face.
         rusanov_face(
-            &plan, &pde, 0, &out.qface[1], &out.fface[1], &out.qface[0], &out.fface[0],
+            &plan,
+            &pde,
+            0,
+            &out.qface[1],
+            &out.fface[1],
+            &out.qface[0],
+            &out.fface[0],
             &mut f_star,
         );
         apply_face(&plan, 0, 1, &f_star, &out.fface[1], &mut q);

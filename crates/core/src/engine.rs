@@ -3,19 +3,21 @@
 //! counterpart of the paper's TBB task parallelism within one MPI rank).
 
 use crate::corrector::{apply_face, apply_volume, CorrectorScratch};
-use crate::kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
+use crate::kernels::{StpInputs, StpKernel, StpOutputs};
+use crate::par;
 use crate::plan::{CellSource, KernelVariant, StpConfig, StpPlan};
+use crate::registry::KernelRegistry;
 use crate::riemann::{boundary_face, rusanov_face, BoundaryScratch};
 use aderdg_mesh::{Face, Neighbor, StructuredMesh};
 use aderdg_pde::{LinearPde, PointSource};
 use aderdg_tensor::AlignedVec;
-use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// Engine-level configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone, Copy)]
 pub struct EngineConfig {
-    /// STP kernel variant to run.
-    pub variant: KernelVariant,
+    /// STP kernel to run, resolved from the [`KernelRegistry`].
+    pub kernel: &'static dyn StpKernel,
     /// Scheme order (nodes per dimension).
     pub order: usize,
     /// CFL safety factor (≤ 1).
@@ -24,6 +26,18 @@ pub struct EngineConfig {
     pub width: Option<aderdg_tensor::SimdWidth>,
     /// Quadrature/interpolation rule.
     pub rule: aderdg_quadrature::QuadratureRule,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("kernel", &self.kernel.name())
+            .field("order", &self.order)
+            .field("cfl", &self.cfl)
+            .field("width", &self.width)
+            .field("rule", &self.rule)
+            .finish()
+    }
 }
 
 impl EngineConfig {
@@ -36,7 +50,7 @@ impl EngineConfig {
     /// literature), so 0.4 leaves a safety margin.
     pub fn new(order: usize) -> Self {
         Self {
-            variant: KernelVariant::SplitCk,
+            kernel: KernelVariant::SplitCk.kernel(),
             order,
             cfl: 0.4,
             width: None,
@@ -44,9 +58,27 @@ impl EngineConfig {
         }
     }
 
-    /// Selects a kernel variant (builder style).
+    /// Selects a kernel by registry object (builder style).
+    pub fn with_kernel(mut self, kernel: &'static dyn StpKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Selects a kernel by registry key (builder style).
+    ///
+    /// # Panics
+    /// If no kernel of that name is registered; use
+    /// [`KernelRegistry::resolve`] directly for fallible lookup.
+    pub fn with_kernel_name(mut self, name: &str) -> Self {
+        self.kernel = KernelRegistry::global()
+            .resolve(name)
+            .unwrap_or_else(|| panic!("no registered kernel named `{name}`"));
+        self
+    }
+
+    /// Selects one of the paper's four variants (builder style).
     pub fn with_variant(mut self, variant: KernelVariant) -> Self {
-        self.variant = variant;
+        self.kernel = variant.kernel();
         self
     }
 
@@ -110,7 +142,9 @@ impl<P: LinearPde> Engine<P> {
         cfg.rule = config.rule;
         let plan = StpPlan::new(cfg, mesh.cell_size());
         let cells = mesh.num_cells();
-        let state = (0..cells).map(|_| AlignedVec::zeroed(plan.aos.len())).collect();
+        let state = (0..cells)
+            .map(|_| AlignedVec::zeroed(plan.aos.len()))
+            .collect();
         let outputs = (0..cells).map(|_| StpOutputs::new(&plan)).collect();
         Self {
             mesh,
@@ -135,9 +169,7 @@ impl<P: LinearPde> Engine<P> {
         let m_pad = self.plan.aos.m_pad();
         let nodes = self.plan.basis.nodes.clone();
         let mesh = &self.mesh;
-        let plan = &self.plan;
-        self.state.par_iter_mut().enumerate().for_each(|(c, q)| {
-            let _ = plan;
+        par::for_each_mut(&mut self.state, |c, q| {
             for k3 in 0..n {
                 for k2 in 0..n {
                     for k1 in 0..n {
@@ -151,8 +183,19 @@ impl<P: LinearPde> Engine<P> {
     }
 
     /// Registers a point source (projected onto its containing cell).
+    ///
+    /// # Panics
+    /// If another source already lives in the same cell: the predictor
+    /// takes one rank-1 `CellSource` per cell, so two co-located sources
+    /// cannot be superposed — rejecting loudly beats silently dropping
+    /// one of them.
     pub fn add_point_source(&mut self, source: PointSource) {
         let cell = self.mesh.locate(source.position);
+        assert!(
+            !self.sources.iter().any(|(c, _, _)| *c == cell),
+            "cell {cell} already has a point source; multiple sources per \
+             cell are not supported (refine the mesh to separate them)"
+        );
         let xi = self.mesh.to_reference(cell, source.position);
         let spatial =
             CellSource::project(&self.plan, xi, self.mesh.cell_size(), Vec::new()).node_coeffs;
@@ -185,21 +228,17 @@ impl<P: LinearPde> Engine<P> {
         let m = self.plan.m();
         let m_pad = self.plan.aos.m_pad();
         let dx = self.mesh.cell_size();
-        let rate_max = self
-            .state
-            .par_iter()
-            .map(|q| {
-                let mut rate: f64 = 0.0;
-                for k in 0..n * n * n {
-                    let mut r = 0.0;
-                    for d in 0..3 {
-                        r += self.pde.max_wavespeed(d, &q[k * m_pad..k * m_pad + m]) / dx[d];
-                    }
-                    rate = rate.max(r);
+        let rate_max = par::map_max(&self.state, 0.0, |q| {
+            let mut rate: f64 = 0.0;
+            for k in 0..n * n * n {
+                let mut r = 0.0;
+                for d in 0..3 {
+                    r += self.pde.max_wavespeed(d, &q[k * m_pad..k * m_pad + m]) / dx[d];
                 }
-                rate
-            })
-            .reduce(|| 0.0, f64::max);
+                rate = rate.max(r);
+            }
+            rate
+        });
         if rate_max == 0.0 {
             f64::INFINITY
         } else {
@@ -211,12 +250,13 @@ impl<P: LinearPde> Engine<P> {
     pub fn step(&mut self, dt: f64) {
         let plan = &self.plan;
         let pde = &self.pde;
-        let variant = self.config.variant;
+        let kernel = self.config.kernel;
         let n_order = plan.n();
         let time = self.time;
 
-        // Per-cell sources for this step (time derivatives at t_n).
-        let cell_sources: Vec<(usize, CellSource)> = self
+        // Per-cell sources for this step (time derivatives at t_n),
+        // keyed by cell for O(1) lookup inside the parallel loop.
+        let cell_sources: HashMap<usize, CellSource> = self
             .sources
             .iter()
             .map(|(cell, spatial, src)| {
@@ -234,98 +274,90 @@ impl<P: LinearPde> Engine<P> {
         // 1. Predictor on every cell (element-local, embarrassingly
         //    parallel — the paper's dominant kernel).
         let state = &self.state;
-        self.outputs
-            .par_iter_mut()
-            .enumerate()
-            .for_each_init(
-                || StpScratch::new(variant, plan),
-                |scratch, (c, out)| {
-                    let source = cell_sources
-                        .iter()
-                        .find(|(cell, _)| *cell == c)
-                        .map(|(_, s)| s);
-                    run_stp(
-                        plan,
-                        pde,
-                        scratch,
-                        &StpInputs {
-                            q0: &state[c],
-                            dt,
-                            source,
-                        },
-                        out,
-                    );
-                },
-            );
+        par::for_each_mut_init(
+            &mut self.outputs,
+            || kernel.make_scratch(plan),
+            |scratch, c, out| {
+                kernel.run(
+                    plan,
+                    pde,
+                    scratch.as_mut(),
+                    &StpInputs {
+                        q0: &state[c],
+                        dt,
+                        source: cell_sources.get(&c),
+                    },
+                    out,
+                );
+            },
+        );
 
         // 2. Corrector: volume + Riemann face corrections.
         let outputs = &self.outputs;
         let mesh = &self.mesh;
-        self.state
-            .par_iter_mut()
-            .enumerate()
-            .for_each_init(
-                || {
-                    (
-                        CorrectorScratch::new(plan),
-                        BoundaryScratch::new(plan),
-                        vec![0.0f64; plan.face.len()],
-                    )
-                },
-                |(corr, bscratch, f_star), (c, q)| {
-                    let out = &outputs[c];
-                    apply_volume(plan, pde, corr, out, q);
-                    for face in Face::ALL {
-                        let d = face.dim;
-                        let side = face.side;
-                        let fi = face.index();
-                        match mesh.neighbor(c, face) {
-                            Neighbor::Cell(nb) => {
-                                let nb_out = &outputs[nb];
-                                let of = face.opposite().index();
-                                if side == 0 {
-                                    // Neighbour is the left state.
-                                    rusanov_face(
-                                        plan,
-                                        pde,
-                                        d,
-                                        &nb_out.qface[of],
-                                        &nb_out.fface[of],
-                                        &out.qface[fi],
-                                        &out.fface[fi],
-                                        f_star,
-                                    );
-                                } else {
-                                    rusanov_face(
-                                        plan,
-                                        pde,
-                                        d,
-                                        &out.qface[fi],
-                                        &out.fface[fi],
-                                        &nb_out.qface[of],
-                                        &nb_out.fface[of],
-                                        f_star,
-                                    );
-                                }
-                            }
-                            Neighbor::Boundary(kind) => {
-                                boundary_face(
+        par::for_each_mut_init(
+            &mut self.state,
+            || {
+                (
+                    CorrectorScratch::new(plan),
+                    BoundaryScratch::new(plan),
+                    vec![0.0f64; plan.face.len()],
+                )
+            },
+            |(corr, bscratch, f_star), c, q| {
+                let out = &outputs[c];
+                apply_volume(plan, pde, corr, out, q);
+                for face in Face::ALL {
+                    let d = face.dim;
+                    let side = face.side;
+                    let fi = face.index();
+                    match mesh.neighbor(c, face) {
+                        Neighbor::Cell(nb) => {
+                            let nb_out = &outputs[nb];
+                            let of = face.opposite().index();
+                            if side == 0 {
+                                // Neighbour is the left state.
+                                rusanov_face(
                                     plan,
                                     pde,
                                     d,
-                                    side,
-                                    kind,
+                                    &nb_out.qface[of],
+                                    &nb_out.fface[of],
                                     &out.qface[fi],
                                     &out.fface[fi],
-                                    bscratch,
+                                    f_star,
+                                );
+                            } else {
+                                rusanov_face(
+                                    plan,
+                                    pde,
+                                    d,
+                                    &out.qface[fi],
+                                    &out.fface[fi],
+                                    &nb_out.qface[of],
+                                    &nb_out.fface[of],
                                     f_star,
                                 );
                             }
                         }
-                        apply_face(plan, d, side, f_star, &out.fface[fi], q);
+                        Neighbor::Boundary(kind) => {
+                            boundary_face(
+                                plan,
+                                pde,
+                                d,
+                                side,
+                                kind,
+                                &out.qface[fi],
+                                &out.fface[fi],
+                                bscratch,
+                                f_star,
+                            );
+                        }
                     }
-                },
-            );
+                    apply_face(plan, d, side, f_star, &out.fface[fi], q);
+                }
+            },
+        );
 
         self.time += dt;
         self.steps += 1;

@@ -109,8 +109,7 @@ mod tests {
     fn projects_polynomial_boundary_values_exactly() {
         let p = plan(5, 3);
         // q(x, y, z; s) = (x² + s)(1 + y)(2 − z) — degree < n per dim.
-        let field =
-            |x: f64, y: f64, z: f64, s: usize| (x * x + s as f64) * (1.0 + y) * (2.0 - z);
+        let field = |x: f64, y: f64, z: f64, s: usize| (x * x + s as f64) * (1.0 + y) * (2.0 - z);
         let vol = poly_volume(&p, field);
         let mf_pad = p.face.m_pad();
         let nodes = p.basis.nodes.clone();

@@ -140,15 +140,11 @@ pub fn stp_aosoa(
                 for plane in 0..n * n {
                     let off = plane * block;
                     // Reuse flux as the ncp output buffer for this plane.
-                    let (qs, gs) = (&scratch.p[off..off + block], &scratch.grad_q[off..off + block]);
-                    pde.ncp_vect(
-                        d,
-                        qs,
-                        gs,
-                        &mut scratch.flux[off..off + block],
-                        n,
-                        n_pad,
+                    let (qs, gs) = (
+                        &scratch.p[off..off + block],
+                        &scratch.grad_q[off..off + block],
                     );
+                    pde.ncp_vect(d, qs, gs, &mut scratch.flux[off..off + block], n, n_pad);
                     for (pv, nv) in scratch.ptemp[off..off + block]
                         .iter_mut()
                         .zip(&scratch.flux[off..off + block])
@@ -250,15 +246,27 @@ mod tests {
             source,
         };
         let mut out_g = StpOutputs::new(plan);
-        stp_generic(plan, pde, &mut GenericScratch::new(plan), &inputs, &mut out_g);
+        stp_generic(
+            plan,
+            pde,
+            &mut GenericScratch::new(plan),
+            &inputs,
+            &mut out_g,
+        );
         let mut out_h = StpOutputs::new(plan);
         stp_aosoa(plan, pde, &mut AosoaScratch::new(plan), &inputs, &mut out_h);
         for (i, (a, b)) in out_h.qavg.iter().zip(out_g.qavg.iter()).enumerate() {
-            assert!((a - b).abs() < tol * (1.0 + b.abs()), "qavg[{i}]: {a} vs {b}");
+            assert!(
+                (a - b).abs() < tol * (1.0 + b.abs()),
+                "qavg[{i}]: {a} vs {b}"
+            );
         }
         for d in 0..3 {
             for (i, (a, b)) in out_h.favg[d].iter().zip(out_g.favg[d].iter()).enumerate() {
-                assert!((a - b).abs() < tol * (1.0 + b.abs()), "favg{d}[{i}]: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < tol * (1.0 + b.abs()),
+                    "favg{d}[{i}]: {a} vs {b}"
+                );
             }
         }
         for f in 0..6 {
@@ -345,5 +353,39 @@ mod tests {
         // Same O(N³m) class; ratio bounded by padding differences.
         let ratio = h as f64 / s as f64;
         assert!(ratio > 0.5 && ratio < 3.0, "ratio={ratio}");
+    }
+}
+
+use super::{downcast_scratch, impl_stp_scratch, StpKernel, StpScratch};
+
+impl_stp_scratch!(AosoaScratch);
+
+/// Registry entry for the AoSoA SplitCK variant with vectorized user
+/// functions (Sec. V).
+#[derive(Debug, Clone, Copy)]
+pub struct AosoaKernel;
+
+impl StpKernel for AosoaKernel {
+    fn name(&self) -> &'static str {
+        "aosoa_splitck"
+    }
+
+    fn label(&self) -> &'static str {
+        "AoSoA SplitCK"
+    }
+
+    fn make_scratch(&self, plan: &StpPlan) -> Box<dyn StpScratch> {
+        Box::new(AosoaScratch::new(plan))
+    }
+
+    fn run(
+        &self,
+        plan: &StpPlan,
+        pde: &dyn LinearPde,
+        scratch: &mut dyn StpScratch,
+        inputs: &StpInputs<'_>,
+        out: &mut StpOutputs,
+    ) {
+        stp_aosoa(plan, pde, downcast_scratch(scratch), inputs, out);
     }
 }

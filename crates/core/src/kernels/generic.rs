@@ -155,7 +155,12 @@ pub fn stp_generic(
                 let d_f = &mut scratch.d_f[o][d];
                 let mut ncp = vec![0.0; m];
                 for k in 0..vol {
-                    pde.ncp(d, &p_o[k * m..(k + 1) * m], &grad[k * m..(k + 1) * m], &mut ncp);
+                    pde.ncp(
+                        d,
+                        &p_o[k * m..(k + 1) * m],
+                        &grad[k * m..(k + 1) * m],
+                        &mut ncp,
+                    );
                     for s in 0..m {
                         d_f[k * m + s] += ncp[s];
                     }
@@ -192,7 +197,11 @@ pub fn stp_generic(
         let p_last = &scratch.p[n];
         let flux = &mut scratch.flux[n][d];
         for k in 0..vol {
-            pde.flux(d, &p_last[k * m..(k + 1) * m], &mut flux[k * m..(k + 1) * m]);
+            pde.flux(
+                d,
+                &p_last[k * m..(k + 1) * m],
+                &mut flux[k * m..(k + 1) * m],
+            );
         }
     }
 
@@ -335,5 +344,34 @@ mod tests {
         let ratio = f8 as f64 / f4 as f64;
         // N⁴ scaling: 8⁴/4⁴ = 16, modulo the O(N³) terms.
         assert!(ratio > 12.0 && ratio < 20.0, "ratio={ratio}");
+    }
+}
+
+use super::{downcast_scratch, impl_stp_scratch, StpKernel, StpScratch};
+
+impl_stp_scratch!(GenericScratch);
+
+/// Registry entry for the scalar reference variant (Fig. 1).
+#[derive(Debug, Clone, Copy)]
+pub struct GenericKernel;
+
+impl StpKernel for GenericKernel {
+    fn name(&self) -> &'static str {
+        "generic"
+    }
+
+    fn make_scratch(&self, plan: &StpPlan) -> Box<dyn StpScratch> {
+        Box::new(GenericScratch::new(plan))
+    }
+
+    fn run(
+        &self,
+        plan: &StpPlan,
+        pde: &dyn LinearPde,
+        scratch: &mut dyn StpScratch,
+        inputs: &StpInputs<'_>,
+        out: &mut StpOutputs,
+    ) {
+        stp_generic(plan, pde, downcast_scratch(scratch), inputs, out);
     }
 }

@@ -117,7 +117,9 @@ pub fn stp_log(
     let vol = n * n * n;
     let has_ncp = pde.has_ncp();
 
-    scratch.p[0].as_mut_slice().copy_from_slice(&inputs.q0[..plan.aos.len()]);
+    scratch.p[0]
+        .as_mut_slice()
+        .copy_from_slice(&inputs.q0[..plan.aos.len()]);
 
     for o in 0..n {
         let (head, tail) = scratch.p.split_at_mut(o + 1);
@@ -259,9 +261,21 @@ mod tests {
                 source: None,
             };
             let mut out_g = StpOutputs::new(&plan);
-            stp_generic(&plan, &pde, &mut GenericScratch::new(&plan), &inputs, &mut out_g);
+            stp_generic(
+                &plan,
+                &pde,
+                &mut GenericScratch::new(&plan),
+                &inputs,
+                &mut out_g,
+            );
             let mut out_l = StpOutputs::new(&plan);
-            stp_log(&plan, &pde, &mut LogScratch::new(&plan), &inputs, &mut out_l);
+            stp_log(
+                &plan,
+                &pde,
+                &mut LogScratch::new(&plan),
+                &inputs,
+                &mut out_l,
+            );
             assert_outputs_close(&out_l, &out_g, 1e-12);
         }
     }
@@ -277,9 +291,21 @@ mod tests {
             source: None,
         };
         let mut out_g = StpOutputs::new(&plan);
-        stp_generic(&plan, &pde, &mut GenericScratch::new(&plan), &inputs, &mut out_g);
+        stp_generic(
+            &plan,
+            &pde,
+            &mut GenericScratch::new(&plan),
+            &inputs,
+            &mut out_g,
+        );
         let mut out_l = StpOutputs::new(&plan);
-        stp_log(&plan, &pde, &mut LogScratch::new(&plan), &inputs, &mut out_l);
+        stp_log(
+            &plan,
+            &pde,
+            &mut LogScratch::new(&plan),
+            &inputs,
+            &mut out_l,
+        );
         assert_outputs_close(&out_l, &out_g, 1e-12);
     }
 
@@ -318,5 +344,38 @@ mod tests {
                 }
             }
         }
+    }
+}
+
+use super::{downcast_scratch, impl_stp_scratch, StpKernel, StpScratch};
+
+impl_stp_scratch!(LogScratch);
+
+/// Registry entry for the Loop-over-GEMM variant (Sec. III).
+#[derive(Debug, Clone, Copy)]
+pub struct LogKernel;
+
+impl StpKernel for LogKernel {
+    fn name(&self) -> &'static str {
+        "log"
+    }
+
+    fn label(&self) -> &'static str {
+        "LoG"
+    }
+
+    fn make_scratch(&self, plan: &StpPlan) -> Box<dyn StpScratch> {
+        Box::new(LogScratch::new(plan))
+    }
+
+    fn run(
+        &self,
+        plan: &StpPlan,
+        pde: &dyn LinearPde,
+        scratch: &mut dyn StpScratch,
+        inputs: &StpInputs<'_>,
+        out: &mut StpOutputs,
+    ) {
+        stp_log(plan, pde, downcast_scratch(scratch), inputs, out);
     }
 }

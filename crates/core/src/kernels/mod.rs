@@ -1,6 +1,6 @@
-//! The four Space-Time Predictor kernel variants.
+//! The Space-Time Predictor kernel layer.
 //!
-//! All variants share one contract: given the cell's current DOFs (padded
+//! All kernels share one contract: given the cell's current DOFs (padded
 //! AoS), the time step, and an optional projected point source, produce
 //!
 //! * `qavg` — the time-integrated state `q̄ = ∫ q dt` (eq. 4),
@@ -11,7 +11,15 @@
 //!
 //! The variants differ only in algorithm and data layout — which is the
 //! paper's entire subject — and must agree to floating-point tolerance,
-//! which the equivalence tests enforce.
+//! which the registry-driven equivalence tests enforce for **every**
+//! registered kernel.
+//!
+//! The layer is open: a kernel is any implementation of [`StpKernel`]
+//! (name, scratch factory, run), registered with the
+//! [`KernelRegistry`](crate::registry::KernelRegistry). Adding a variant
+//! is one new module plus one registration line; the engine, the solver
+//! spec, the equivalence tests and the figure harnesses all resolve
+//! kernels through the registry and pick the newcomer up automatically.
 
 pub mod aosoa;
 pub mod generic;
@@ -20,9 +28,10 @@ pub mod onthefly;
 pub mod splitck;
 
 use crate::faceproj;
-use crate::plan::{CellSource, KernelVariant, StpPlan};
+use crate::plan::{CellSource, StpPlan};
 use aderdg_pde::LinearPde;
 use aderdg_tensor::AlignedVec;
+use std::any::Any;
 
 /// Inputs of one predictor invocation.
 #[derive(Debug, Clone, Copy)]
@@ -63,57 +72,90 @@ impl StpOutputs {
     }
 }
 
-/// Reusable scratch buffers, variant-specific (their sizes *are* the
+/// Reusable, kernel-specific scratch buffers (their sizes *are* the
 /// memory-footprint story of the paper).
-#[derive(Debug, Clone)]
-pub enum StpScratch {
-    /// Scratch of [`generic::stp_generic`].
-    Generic(generic::GenericScratch),
-    /// Scratch of [`log::stp_log`].
-    LoG(log::LogScratch),
-    /// Scratch of [`splitck::stp_splitck`].
-    SplitCk(splitck::SplitCkScratch),
-    /// Scratch of [`aosoa::stp_aosoa`].
-    AoSoA(aosoa::AosoaScratch),
-}
-
-impl StpScratch {
-    /// Allocates scratch for `variant` under `plan`.
-    pub fn new(variant: KernelVariant, plan: &StpPlan) -> Self {
-        match variant {
-            KernelVariant::Generic => StpScratch::Generic(generic::GenericScratch::new(plan)),
-            KernelVariant::LoG => StpScratch::LoG(log::LogScratch::new(plan)),
-            KernelVariant::SplitCk => StpScratch::SplitCk(splitck::SplitCkScratch::new(plan)),
-            KernelVariant::AoSoASplitCk => StpScratch::AoSoA(aosoa::AosoaScratch::new(plan)),
-        }
-    }
-
-    /// Total bytes of temporary storage this variant allocated — the
+///
+/// Object-safe so the engine can hold scratch for any registered kernel;
+/// kernels recover their concrete type through [`StpScratch::as_any_mut`].
+pub trait StpScratch: Send {
+    /// Total bytes of temporary storage this kernel allocated — the
     /// measured counterpart of the Sec. IV-A footprint formulas.
-    pub fn footprint_bytes(&self) -> usize {
-        match self {
-            StpScratch::Generic(s) => s.footprint_bytes(),
-            StpScratch::LoG(s) => s.footprint_bytes(),
-            StpScratch::SplitCk(s) => s.footprint_bytes(),
-            StpScratch::AoSoA(s) => s.footprint_bytes(),
+    fn footprint_bytes(&self) -> usize;
+
+    /// Downcast hook for [`StpKernel::run`] implementations.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Implements [`StpScratch`] for a concrete scratch type that already has
+/// inherent `footprint_bytes(&self) -> usize`.
+macro_rules! impl_stp_scratch {
+    ($ty:ty) => {
+        impl crate::kernels::StpScratch for $ty {
+            fn footprint_bytes(&self) -> usize {
+                <$ty>::footprint_bytes(self)
+            }
+
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
         }
+    };
+}
+pub(crate) use impl_stp_scratch;
+
+/// Downcasts a `&mut dyn StpScratch` to the concrete scratch type a kernel
+/// allocated in its `make_scratch`.
+///
+/// # Panics
+/// If `scratch` was produced by a different kernel — pairing scratch and
+/// kernel is the caller's contract, as it was with the former closed enum.
+pub fn downcast_scratch<S: StpScratch + 'static>(scratch: &mut dyn StpScratch) -> &mut S {
+    scratch
+        .as_any_mut()
+        .downcast_mut::<S>()
+        .expect("scratch buffer does not belong to this kernel")
+}
+
+/// An open-ended Space-Time Predictor implementation.
+///
+/// Object-safe: the engine and the figure harnesses work exclusively with
+/// `&'static dyn StpKernel` resolved from the
+/// [`KernelRegistry`](crate::registry::KernelRegistry).
+pub trait StpKernel: Send + Sync {
+    /// Registry key and specification-file name (e.g. `splitck`).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable label used by the figure harnesses (defaults to
+    /// [`name`](StpKernel::name)).
+    fn label(&self) -> &'static str {
+        self.name()
+    }
+
+    /// Allocates this kernel's scratch buffers for `plan`.
+    fn make_scratch(&self, plan: &StpPlan) -> Box<dyn StpScratch>;
+
+    /// Runs the predictor. `scratch` must come from this kernel's
+    /// [`make_scratch`](StpKernel::make_scratch).
+    fn run(
+        &self,
+        plan: &StpPlan,
+        pde: &dyn LinearPde,
+        scratch: &mut dyn StpScratch,
+        inputs: &StpInputs<'_>,
+        out: &mut StpOutputs,
+    );
+
+    /// Bytes of temporary storage this kernel would allocate under `plan`.
+    fn footprint_bytes(&self, plan: &StpPlan) -> usize {
+        self.make_scratch(plan).footprint_bytes()
     }
 }
 
-/// Runs the predictor `variant`; dispatch mirrors the paper's opt-in kernel
-/// selection through the specification file.
-pub fn run_stp(
-    plan: &StpPlan,
-    pde: &dyn LinearPde,
-    scratch: &mut StpScratch,
-    inputs: &StpInputs<'_>,
-    out: &mut StpOutputs,
-) {
-    match scratch {
-        StpScratch::Generic(s) => generic::stp_generic(plan, pde, s, inputs, out),
-        StpScratch::LoG(s) => log::stp_log(plan, pde, s, inputs, out),
-        StpScratch::SplitCk(s) => splitck::stp_splitck(plan, pde, s, inputs, out),
-        StpScratch::AoSoA(s) => aosoa::stp_aosoa(plan, pde, s, inputs, out),
+impl std::fmt::Debug for dyn StpKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StpKernel")
+            .field("name", &self.name())
+            .finish()
     }
 }
 

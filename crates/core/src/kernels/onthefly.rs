@@ -121,7 +121,10 @@ pub fn stp_onthefly(
     let has_ncp = pde.has_ncp();
     let coef = plan.taylor(inputs.dt);
 
-    scratch.p.as_mut_slice().copy_from_slice(&inputs.q0[..plan.aos.len()]);
+    scratch
+        .p
+        .as_mut_slice()
+        .copy_from_slice(&inputs.q0[..plan.aos.len()]);
     for (qa, pv) in out.qavg.iter_mut().zip(scratch.p.iter()) {
         *qa = coef[0] * pv;
     }
@@ -242,7 +245,11 @@ mod tests {
             cs: 3.46,
         };
         for k in 0..64 {
-            Elastic::set_params(&mut q0[k * m_pad..k * m_pad + 21], mat, &Elastic::IDENTITY_JAC);
+            Elastic::set_params(
+                &mut q0[k * m_pad..k * m_pad + 21],
+                mat,
+                &Elastic::IDENTITY_JAC,
+            );
         }
         let inputs = StpInputs {
             q0: &q0,
@@ -250,9 +257,21 @@ mod tests {
             source: None,
         };
         let mut out_g = StpOutputs::new(&plan);
-        stp_generic(&plan, &pde, &mut GenericScratch::new(&plan), &inputs, &mut out_g);
+        stp_generic(
+            &plan,
+            &pde,
+            &mut GenericScratch::new(&plan),
+            &inputs,
+            &mut out_g,
+        );
         let mut out_o = StpOutputs::new(&plan);
-        stp_onthefly(&plan, &pde, &mut OnTheFlyScratch::new(&plan), &inputs, &mut out_o);
+        stp_onthefly(
+            &plan,
+            &pde,
+            &mut OnTheFlyScratch::new(&plan),
+            &inputs,
+            &mut out_o,
+        );
         for (i, (a, b)) in out_o.qavg.iter().zip(out_g.qavg.iter()).enumerate() {
             assert!((a - b).abs() < 1e-11 * (1.0 + b.abs()), "qavg[{i}]");
         }
@@ -274,9 +293,21 @@ mod tests {
             source: None,
         };
         let mut out_g = StpOutputs::new(&plan);
-        stp_generic(&plan, &pde, &mut GenericScratch::new(&plan), &inputs, &mut out_g);
+        stp_generic(
+            &plan,
+            &pde,
+            &mut GenericScratch::new(&plan),
+            &inputs,
+            &mut out_g,
+        );
         let mut out_o = StpOutputs::new(&plan);
-        stp_onthefly(&plan, &pde, &mut OnTheFlyScratch::new(&plan), &inputs, &mut out_o);
+        stp_onthefly(
+            &plan,
+            &pde,
+            &mut OnTheFlyScratch::new(&plan),
+            &inputs,
+            &mut out_o,
+        );
         for (a, b) in out_o.qavg.iter().zip(out_g.qavg.iter()) {
             assert!((a - b).abs() < 1e-11 * (1.0 + b.abs()));
         }
@@ -289,5 +320,40 @@ mod tests {
         let otf = OnTheFlyScratch::new(&plan).footprint_bytes();
         let split = SplitCkScratch::new(&plan).footprint_bytes();
         assert!((otf as f64 / split as f64) < 1.2);
+    }
+}
+
+use super::{downcast_scratch, impl_stp_scratch, StpKernel, StpScratch};
+
+impl_stp_scratch!(OnTheFlyScratch);
+
+/// Registry entry for the rejected on-the-fly-transpose design (Sec. V-A),
+/// registered so the ablation harness and the equivalence matrix exercise
+/// it like any other kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct OnTheFlyKernel;
+
+impl StpKernel for OnTheFlyKernel {
+    fn name(&self) -> &'static str {
+        "onthefly"
+    }
+
+    fn label(&self) -> &'static str {
+        "on-the-fly SplitCK"
+    }
+
+    fn make_scratch(&self, plan: &StpPlan) -> Box<dyn StpScratch> {
+        Box::new(OnTheFlyScratch::new(plan))
+    }
+
+    fn run(
+        &self,
+        plan: &StpPlan,
+        pde: &dyn LinearPde,
+        scratch: &mut dyn StpScratch,
+        inputs: &StpInputs<'_>,
+        out: &mut StpOutputs,
+    ) {
+        stp_onthefly(plan, pde, downcast_scratch(scratch), inputs, out);
     }
 }

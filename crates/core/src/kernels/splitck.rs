@@ -72,7 +72,10 @@ pub fn stp_splitck(
     let coef = plan.taylor(inputs.dt);
 
     // p ← q0; qavg ← c_0 · p (on-the-fly time integration).
-    scratch.p.as_mut_slice().copy_from_slice(&inputs.q0[..plan.aos.len()]);
+    scratch
+        .p
+        .as_mut_slice()
+        .copy_from_slice(&inputs.q0[..plan.aos.len()]);
     for (qa, pv) in out.qavg.iter_mut().zip(scratch.p.iter()) {
         *qa = coef[0] * pv;
     }
@@ -178,15 +181,33 @@ mod tests {
             source,
         };
         let mut out_g = StpOutputs::new(plan);
-        stp_generic(plan, pde, &mut GenericScratch::new(plan), &inputs, &mut out_g);
+        stp_generic(
+            plan,
+            pde,
+            &mut GenericScratch::new(plan),
+            &inputs,
+            &mut out_g,
+        );
         let mut out_s = StpOutputs::new(plan);
-        stp_splitck(plan, pde, &mut SplitCkScratch::new(plan), &inputs, &mut out_s);
+        stp_splitck(
+            plan,
+            pde,
+            &mut SplitCkScratch::new(plan),
+            &inputs,
+            &mut out_s,
+        );
         for (i, (a, b)) in out_s.qavg.iter().zip(out_g.qavg.iter()).enumerate() {
-            assert!((a - b).abs() < tol * (1.0 + b.abs()), "qavg[{i}]: {a} vs {b}");
+            assert!(
+                (a - b).abs() < tol * (1.0 + b.abs()),
+                "qavg[{i}]: {a} vs {b}"
+            );
         }
         for d in 0..3 {
             for (i, (a, b)) in out_s.favg[d].iter().zip(out_g.favg[d].iter()).enumerate() {
-                assert!((a - b).abs() < tol * (1.0 + b.abs()), "favg{d}[{i}]: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < tol * (1.0 + b.abs()),
+                    "favg{d}[{i}]: {a} vs {b}"
+                );
             }
         }
         for f in 0..6 {
@@ -238,7 +259,11 @@ mod tests {
         let q0 = random_state(&plan, 11);
         // Source with nontrivial derivatives in every order slot.
         let derivs: Vec<Vec<f64>> = (0..=4)
-            .map(|o| (0..3).map(|s| 0.3 * (o + 1) as f64 * (s as f64 - 1.0)).collect())
+            .map(|o| {
+                (0..3)
+                    .map(|s| 0.3 * (o + 1) as f64 * (s as f64 - 1.0))
+                    .collect()
+            })
             .collect();
         let src = CellSource::project(&plan, [0.3, 0.6, 0.2], [1.0; 3], derivs);
         compare_with_generic(&plan, &pde, &q0, Some(&src), 1e-11);
@@ -250,9 +275,21 @@ mod tests {
             source: Some(&src),
         };
         let mut out_l = StpOutputs::new(&plan);
-        stp_log(&plan, &pde, &mut LogScratch::new(&plan), &inputs, &mut out_l);
+        stp_log(
+            &plan,
+            &pde,
+            &mut LogScratch::new(&plan),
+            &inputs,
+            &mut out_l,
+        );
         let mut out_s = StpOutputs::new(&plan);
-        stp_splitck(&plan, &pde, &mut SplitCkScratch::new(&plan), &inputs, &mut out_s);
+        stp_splitck(
+            &plan,
+            &pde,
+            &mut SplitCkScratch::new(&plan),
+            &inputs,
+            &mut out_s,
+        );
         for (a, b) in out_s.qavg.iter().zip(out_l.qavg.iter()) {
             assert!((a - b).abs() < 1e-11 * (1.0 + b.abs()));
         }
@@ -267,5 +304,39 @@ mod tests {
             generic as f64 / split as f64 > 5.0,
             "generic={generic} split={split}"
         );
+    }
+}
+
+use super::{downcast_scratch, impl_stp_scratch, StpKernel, StpScratch};
+
+impl_stp_scratch!(SplitCkScratch);
+
+/// Registry entry for the dimension-split Cauchy-Kowalewsky variant
+/// (Fig. 5 / Sec. IV).
+#[derive(Debug, Clone, Copy)]
+pub struct SplitCkKernel;
+
+impl StpKernel for SplitCkKernel {
+    fn name(&self) -> &'static str {
+        "splitck"
+    }
+
+    fn label(&self) -> &'static str {
+        "SplitCK"
+    }
+
+    fn make_scratch(&self, plan: &StpPlan) -> Box<dyn StpScratch> {
+        Box::new(SplitCkScratch::new(plan))
+    }
+
+    fn run(
+        &self,
+        plan: &StpPlan,
+        pde: &dyn LinearPde,
+        scratch: &mut dyn StpScratch,
+        inputs: &StpInputs<'_>,
+        out: &mut StpOutputs,
+    ) {
+        stp_splitck(plan, pde, downcast_scratch(scratch), inputs, out);
     }
 }

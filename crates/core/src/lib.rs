@@ -15,13 +15,16 @@ pub mod faceproj;
 pub mod kernels;
 pub mod mix;
 pub mod output;
+pub mod par;
 pub mod plan;
+pub mod registry;
 pub mod riemann;
 pub mod spec;
 pub mod traces;
 
 pub use engine::{Engine, EngineConfig, Receiver};
-pub use kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
+pub use kernels::{StpInputs, StpKernel, StpOutputs, StpScratch};
 pub use plan::{CellSource, KernelVariant, StpConfig, StpPlan};
+pub use registry::KernelRegistry;
 pub use riemann::{boundary_face, rusanov_face, BoundaryScratch};
 pub use spec::{SolverSpec, SpecError};

@@ -114,11 +114,7 @@ pub fn stp_pack_counts(
         KernelVariant::LoG => {
             let accum = n * 3 * vol * m_pad; // p_next adds
             let tavg = (n + 1) * 4 * vol * m_pad * 2;
-            counts = counts.merge(&classify_padded_loop(
-                (accum + tavg) as usize,
-                1,
-                w,
-            ));
+            counts = counts.merge(&classify_padded_loop((accum + tavg) as usize, 1, w));
         }
         KernelVariant::SplitCk => {
             // On-the-fly qavg accumulation: (N+1) passes, 2 flops/entry.
@@ -216,15 +212,16 @@ mod tests {
     use aderdg_tensor::SimdWidth;
 
     fn plan(n: usize) -> StpPlan {
-        StpPlan::new(
-            StpConfig::new(n, 21).with_width(SimdWidth::W8),
-            [1.0; 3],
-        )
+        StpPlan::new(StpConfig::new(n, 21).with_width(SimdWidth::W8), [1.0; 3])
     }
 
     #[test]
     fn generic_is_mostly_scalar() {
-        let c = stp_pack_counts(&plan(6), KernelVariant::Generic, UserFunctionCost::elastic());
+        let c = stp_pack_counts(
+            &plan(6),
+            KernelVariant::Generic,
+            UserFunctionCost::elastic(),
+        );
         assert!(
             c.scalar_fraction() > 0.6,
             "generic scalar fraction {}",
@@ -288,10 +285,7 @@ mod tests {
 
     #[test]
     fn avx2_width_shifts_mix_to_256() {
-        let p = StpPlan::new(
-            StpConfig::new(8, 21).with_width(SimdWidth::W4),
-            [1.0; 3],
-        );
+        let p = StpPlan::new(StpConfig::new(8, 21).with_width(SimdWidth::W4), [1.0; 3]);
         let c = stp_pack_counts(&p, KernelVariant::SplitCk, UserFunctionCost::elastic());
         let f = c.fractions();
         assert_eq!(f[3], 0.0, "no 512-bit packs on an AVX2 plan");

@@ -144,7 +144,12 @@ mod tests {
         // Point count: header lines + coordinates + 2 × scalars.
         let n_coord_lines = text
             .lines()
-            .filter(|l| l.split_whitespace().count() == 3 && l.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '0'))
+            .filter(|l| {
+                l.split_whitespace().count() == 3
+                    && l.chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '0')
+            })
             .count();
         assert!(n_coord_lines >= total);
     }

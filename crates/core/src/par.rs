@@ -1,0 +1,141 @@
+//! Minimal structured data parallelism for the engine's cell loops.
+//!
+//! The paper parallelizes within one MPI rank with TBB tasks; this module
+//! plays that role with `std::thread::scope` and static chunking, which is
+//! a good fit because every cell of a uniform mesh costs the same. It has
+//! no external dependencies, so the workspace builds in hermetic
+//! environments.
+//!
+//! Thread count: `ADERDG_THREADS` if set, else the machine's available
+//! parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads the cell loops use.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("ADERDG_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Applies `f(state, index, item)` to every item of `items` in parallel,
+/// with one `init()`-produced state per worker thread (the scratch-reuse
+/// pattern of the predictor loop).
+pub fn for_each_mut_init<T, S>(
+    items: &mut [T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &mut T) + Sync,
+) where
+    T: Send,
+{
+    let len = items.len();
+    let threads = num_threads().min(len.max(1));
+    if threads <= 1 {
+        let mut state = init();
+        for (i, item) in items.iter_mut().enumerate() {
+            f(&mut state, i, item);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, part) in items.chunks_mut(chunk).enumerate() {
+            let init = &init;
+            let f = &f;
+            scope.spawn(move || {
+                let mut state = init();
+                let base = ci * chunk;
+                for (j, item) in part.iter_mut().enumerate() {
+                    f(&mut state, base + j, item);
+                }
+            });
+        }
+    });
+}
+
+/// Applies `f(index, item)` to every item in parallel.
+pub fn for_each_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+    for_each_mut_init(items, || (), |(), i, item| f(i, item));
+}
+
+/// Parallel `max` of `f` over `items`; returns `identity` for an empty
+/// slice.
+pub fn map_max<T: Sync>(items: &[T], identity: f64, f: impl Fn(&T) -> f64 + Sync) -> f64 {
+    let len = items.len();
+    let threads = num_threads().min(len.max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).fold(identity, f64::max);
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                let f = &f;
+                scope.spawn(move || part.iter().map(f).fold(identity, f64::max))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .fold(identity, f64::max)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_covers_all_indices_once() {
+        let mut v = vec![0usize; 1000];
+        for_each_mut(&mut v, |i, x| *x = i + 1);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i + 1);
+        }
+    }
+
+    #[test]
+    fn init_state_is_per_thread_and_reused() {
+        // The state counts invocations; totals across threads must cover
+        // every item exactly once.
+        use std::sync::atomic::AtomicUsize;
+        let total = AtomicUsize::new(0);
+        let mut v = vec![0u8; 517];
+        for_each_mut_init(
+            &mut v,
+            || 0usize,
+            |count, _, _| {
+                *count += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(total.load(Ordering::Relaxed), 517);
+    }
+
+    #[test]
+    fn map_max_matches_sequential() {
+        let v: Vec<f64> = (0..777).map(|i| ((i * 37) % 101) as f64).collect();
+        let want = v.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(map_max(&v, 0.0, |&x| x), want);
+        assert_eq!(map_max::<f64>(&[], -1.0, |&x| x), -1.0);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -12,7 +12,13 @@ use aderdg_gemm::{Gemm, GemmSpec, Isa};
 use aderdg_quadrature::{taylor_coefficients, Basis1d, QuadratureRule};
 use aderdg_tensor::{DofLayout, FaceLayout, SimdWidth};
 
-/// The four Space-Time Predictor implementations of the paper.
+/// The four measured Space-Time Predictor variants of the paper.
+///
+/// This enum is *not* a dispatch mechanism — execution goes through
+/// [`StpKernel`](crate::kernels::StpKernel) objects resolved from the
+/// [`KernelRegistry`](crate::registry::KernelRegistry). It remains as the
+/// key of the analytic models (instruction mix, memory traces) and the
+/// figure harnesses, which reproduce exactly the paper's four bars.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KernelVariant {
     /// Scalar reference implementation (Fig. 1).
@@ -43,6 +49,24 @@ impl KernelVariant {
             KernelVariant::SplitCk => "SplitCK",
             KernelVariant::AoSoASplitCk => "AoSoA SplitCK",
         }
+    }
+
+    /// Registry key of the corresponding kernel (the specification-file
+    /// name).
+    pub fn key(&self) -> &'static str {
+        match self {
+            KernelVariant::Generic => "generic",
+            KernelVariant::LoG => "log",
+            KernelVariant::SplitCk => "splitck",
+            KernelVariant::AoSoASplitCk => "aosoa_splitck",
+        }
+    }
+
+    /// The registered kernel implementing this variant.
+    pub fn kernel(&self) -> &'static dyn crate::kernels::StpKernel {
+        crate::registry::KernelRegistry::global()
+            .resolve(self.key())
+            .expect("builtin kernel variants are always registered")
     }
 }
 
@@ -137,9 +161,9 @@ impl StpPlan {
         // the padded quantity dimension; y and z fuse the faster dims.
         let spec_aos = |d: usize| -> GemmSpec {
             let cols = match d {
-                0 => m_pad,             // x: slice per (k3, k2)
-                1 => n * m_pad,         // y: fused (k1, s) per k3
-                _ => n * n * m_pad,     // z: fused (k2, k1, s), one GEMM
+                0 => m_pad,         // x: slice per (k3, k2)
+                1 => n * m_pad,     // y: fused (k1, s) per k3
+                _ => n * n * m_pad, // z: fused (k2, k1, s), one GEMM
             };
             GemmSpec {
                 m: n,
@@ -202,7 +226,11 @@ impl StpPlan {
             diff_t_padded,
             gemm_aos: [plan(spec_aos(0)), plan(spec_aos(1)), plan(spec_aos(2))],
             gemm_aos_acc: [acc(spec_aos(0)), acc(spec_aos(1)), acc(spec_aos(2))],
-            gemm_aosoa: [plan(spec_aosoa(0)), plan(spec_aosoa(1)), plan(spec_aosoa(2))],
+            gemm_aosoa: [
+                plan(spec_aosoa(0)),
+                plan(spec_aosoa(1)),
+                plan(spec_aosoa(2)),
+            ],
             gemm_aosoa_acc: [acc(spec_aosoa(0)), acc(spec_aosoa(1)), acc(spec_aosoa(2))],
         }
     }

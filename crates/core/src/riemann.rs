@@ -18,6 +18,7 @@ use aderdg_pde::LinearPde;
 ///
 /// `q_l`, `f_l` belong to the lower cell's upper face; `q_r`, `f_r` to the
 /// upper cell's lower face (all padded face tensors). Writes `f_star`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's kernel signature
 pub fn rusanov_face(
     plan: &StpPlan,
     pde: &dyn LinearPde,
@@ -38,8 +39,7 @@ pub fn rusanov_face(
         let s_r = pde.max_wavespeed(d, &q_r[o..o + plan.m()]);
         let s = s_l.max(s_r);
         for v in 0..vars {
-            f_star[o + v] =
-                0.5 * (f_l[o + v] + f_r[o + v]) + 0.5 * s * (q_r[o + v] - q_l[o + v]);
+            f_star[o + v] = 0.5 * (f_l[o + v] + f_r[o + v]) + 0.5 * s * (q_r[o + v] - q_l[o + v]);
         }
     }
 }
@@ -105,12 +105,7 @@ pub fn boundary_face(
             let mut flux = vec![0.0; m];
             for node in 0..n * n {
                 let o = node * mf_pad;
-                pde.reflective_ghost(
-                    d,
-                    outward,
-                    &q_in[o..o + m],
-                    &mut scratch.q_ghost[o..o + m],
-                );
+                pde.reflective_ghost(d, outward, &q_in[o..o + m], &mut scratch.q_ghost[o..o + m]);
                 pde.flux(d, &scratch.q_ghost[o..o + m], &mut flux);
                 scratch.f_ghost[o..o + m].copy_from_slice(&flux);
             }

@@ -17,7 +17,8 @@
 //! ```
 
 use crate::engine::EngineConfig;
-use crate::plan::KernelVariant;
+use crate::kernels::StpKernel;
+use crate::registry::KernelRegistry;
 use aderdg_quadrature::QuadratureRule;
 use aderdg_tensor::SimdWidth;
 use std::fmt;
@@ -40,12 +41,13 @@ impl fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 /// A validated solver configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct SolverSpec {
     /// Scheme order (nodes per dimension), 2..=15.
     pub order: usize,
-    /// STP kernel variant (default: generic — optimizations are opt-in).
-    pub variant: KernelVariant,
+    /// STP kernel, resolved from the [`KernelRegistry`] (default:
+    /// generic — optimizations are opt-in).
+    pub kernel: &'static dyn StpKernel,
     /// SIMD width (default: host).
     pub width: SimdWidth,
     /// Quadrature rule (default: Gauss-Legendre).
@@ -54,11 +56,37 @@ pub struct SolverSpec {
     pub cfl: f64,
 }
 
+impl std::fmt::Debug for SolverSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolverSpec")
+            .field("order", &self.order)
+            .field("kernel", &self.kernel.name())
+            .field("width", &self.width)
+            .field("rule", &self.rule)
+            .field("cfl", &self.cfl)
+            .finish()
+    }
+}
+
+impl PartialEq for SolverSpec {
+    fn eq(&self, other: &Self) -> bool {
+        // Kernels compare by registry key (unique by construction);
+        // pointer identity of `&dyn` is unreliable across codegen units.
+        self.order == other.order
+            && self.kernel.name() == other.kernel.name()
+            && self.width == other.width
+            && self.rule == other.rule
+            && self.cfl == other.cfl
+    }
+}
+
 impl Default for SolverSpec {
     fn default() -> Self {
         Self {
             order: 4,
-            variant: KernelVariant::Generic,
+            kernel: KernelRegistry::global()
+                .resolve("generic")
+                .expect("builtin kernels are always registered"),
             width: SimdWidth::host(),
             rule: QuadratureRule::GaussLegendre,
             cfl: 0.4,
@@ -96,17 +124,12 @@ impl SolverSpec {
                         .map_err(|_| err(format!("invalid order `{value}`")))?;
                 }
                 "kernel" => {
-                    spec.variant = match value {
-                        "generic" => KernelVariant::Generic,
-                        "log" => KernelVariant::LoG,
-                        "splitck" => KernelVariant::SplitCk,
-                        "aosoa_splitck" => KernelVariant::AoSoASplitCk,
-                        other => {
-                            return Err(err(format!(
-                                "unknown kernel `{other}` (generic|log|splitck|aosoa_splitck)"
-                            )))
-                        }
-                    };
+                    spec.kernel = KernelRegistry::global().resolve(value).ok_or_else(|| {
+                        err(format!(
+                            "unknown kernel `{value}` ({})",
+                            KernelRegistry::global().names().join("|")
+                        ))
+                    })?;
                 }
                 "width" => {
                     spec.width = match value {
@@ -163,7 +186,7 @@ impl SolverSpec {
     /// The engine configuration this spec describes.
     pub fn engine_config(&self) -> EngineConfig {
         let mut cfg = EngineConfig::new(self.order)
-            .with_variant(self.variant)
+            .with_kernel(self.kernel)
             .with_rule(self.rule)
             .with_width(self.width);
         cfg.cfl = self.cfl;
@@ -187,7 +210,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(spec.order, 6);
-        assert_eq!(spec.variant, KernelVariant::AoSoASplitCk);
+        assert_eq!(spec.kernel.name(), "aosoa_splitck");
         assert_eq!(spec.width, SimdWidth::W8);
         assert_eq!(spec.rule, QuadratureRule::GaussLobatto);
         assert_eq!(spec.cfl, 0.3);
@@ -197,7 +220,7 @@ mod tests {
     #[test]
     fn defaults_are_generic_and_opt_in() {
         let spec = SolverSpec::parse("order = 5\n").unwrap();
-        assert_eq!(spec.variant, KernelVariant::Generic);
+        assert_eq!(spec.kernel.name(), "generic");
         assert_eq!(spec.cfl, 0.4);
     }
 

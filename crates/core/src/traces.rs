@@ -82,13 +82,7 @@ impl BigScratch {
 }
 
 /// Emits one generic/LoG predictor invocation.
-fn trace_big(
-    plan: &StpPlan,
-    s: &BigScratch,
-    io: &CellIo,
-    ncp: bool,
-    sink: &mut dyn TraceSink,
-) {
+fn trace_big(plan: &StpPlan, s: &BigScratch, io: &CellIo, ncp: bool, sink: &mut dyn TraceSink) {
     let n = plan.n();
     let vb = s.vol_bytes;
     // p[0] ← q0.
@@ -240,28 +234,36 @@ pub fn trace_batch(
     match variant {
         KernelVariant::Generic => {
             let s = BigScratch::alloc(&mut arena, plan, false, has_ncp);
-            let ios: Vec<CellIo> = (0..cells).map(|_| alloc_cell_io(&mut arena, plan)).collect();
+            let ios: Vec<CellIo> = (0..cells)
+                .map(|_| alloc_cell_io(&mut arena, plan))
+                .collect();
             for io in &ios {
                 trace_big(plan, &s, io, has_ncp, sink);
             }
         }
         KernelVariant::LoG => {
             let s = BigScratch::alloc(&mut arena, plan, true, has_ncp);
-            let ios: Vec<CellIo> = (0..cells).map(|_| alloc_cell_io(&mut arena, plan)).collect();
+            let ios: Vec<CellIo> = (0..cells)
+                .map(|_| alloc_cell_io(&mut arena, plan))
+                .collect();
             for io in &ios {
                 trace_big(plan, &s, io, has_ncp, sink);
             }
         }
         KernelVariant::SplitCk => {
             let s = SmallScratch::alloc(&mut arena, plan, false);
-            let ios: Vec<CellIo> = (0..cells).map(|_| alloc_cell_io(&mut arena, plan)).collect();
+            let ios: Vec<CellIo> = (0..cells)
+                .map(|_| alloc_cell_io(&mut arena, plan))
+                .collect();
             for io in &ios {
                 trace_small(plan, &s, io, has_ncp, false, sink);
             }
         }
         KernelVariant::AoSoASplitCk => {
             let s = SmallScratch::alloc(&mut arena, plan, true);
-            let ios: Vec<CellIo> = (0..cells).map(|_| alloc_cell_io(&mut arena, plan)).collect();
+            let ios: Vec<CellIo> = (0..cells)
+                .map(|_| alloc_cell_io(&mut arena, plan))
+                .collect();
             for io in &ios {
                 trace_small(plan, &s, io, has_ncp, true, sink);
             }

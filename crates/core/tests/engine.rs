@@ -333,7 +333,7 @@ fn spec_file_drives_engine() {
     engine.set_initial(|x, q| exact.evaluate(x, 0.0, q));
     engine.run_until(0.05);
     assert!(engine.l2_error(&exact) < 0.05);
-    assert_eq!(engine.config.variant, KernelVariant::SplitCk);
+    assert_eq!(engine.config.kernel.name(), "splitck");
 }
 
 #[test]
@@ -359,4 +359,24 @@ fn gauss_lobatto_rule_works_end_to_end() {
     engine.run_until(0.1);
     let err = engine.l2_error(&wave);
     assert!(err < 5e-3, "GLL acoustic error {err}");
+}
+
+#[test]
+#[should_panic(expected = "already has a point source")]
+fn colocated_point_sources_are_rejected() {
+    // One rank-1 CellSource per cell: a second source in the same cell
+    // cannot be superposed and must be rejected loudly, not dropped.
+    use aderdg_pde::{PointSource, SourceTimeFunction};
+    let mesh = StructuredMesh::unit_cube(2);
+    let mut engine = Engine::new(mesh, Acoustic, EngineConfig::new(3));
+    let src = |pos: [f64; 3]| PointSource {
+        position: pos,
+        amplitude: vec![1.0, 0.0, 0.0, 0.0],
+        stf: SourceTimeFunction::Ricker {
+            t0: 0.3,
+            frequency: 2.0,
+        },
+    };
+    engine.add_point_source(src([0.3, 0.3, 0.3]));
+    engine.add_point_source(src([0.4, 0.4, 0.4])); // same cell on a 2³ mesh
 }

@@ -1,0 +1,172 @@
+//! Open-ended GEMM backends — the runtime-dispatch half of the LIBXSMM
+//! substitute (paper Sec. II-D).
+//!
+//! A backend is one compiled instantiation of the register-tiled kernel
+//! body (baseline, AVX2+FMA, AVX-512). Like LIBXSMM's generated kernels,
+//! the choice happens **once at plan time**: [`select_backend`] walks the
+//! registered backends best-first and returns the first whose
+//! [`supported`](GemmBackend::supported) probe passes on the host. The hot
+//! call ([`Gemm::execute`](crate::Gemm::execute)) is a single virtual call
+//! into pre-monomorphized code.
+//!
+//! Adding an architecture-specific micro-kernel is one new impl plus one
+//! entry in [`backends`] — no enum, no match.
+
+use crate::kernels::{gemm_autovec, Isa};
+use crate::spec::GemmSpec;
+
+/// One compiled GEMM implementation selectable at plan time.
+pub trait GemmBackend: Send + Sync + std::fmt::Debug {
+    /// Short identifier (e.g. `avx512`).
+    fn name(&self) -> &'static str;
+
+    /// The ISA level this backend packs for.
+    fn isa(&self) -> Isa;
+
+    /// Runtime probe: can the host execute this backend?
+    fn supported(&self) -> bool;
+
+    /// Runs `C ← α·A·B + β·C` per `spec`.
+    fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]);
+}
+
+/// Baseline build: whatever the compile target allows (always supported).
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineBackend;
+
+impl GemmBackend for BaselineBackend {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn isa(&self) -> Isa {
+        Isa::Baseline
+    }
+
+    fn supported(&self) -> bool {
+        true
+    }
+
+    fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+        gemm_autovec(spec, a, b, c);
+    }
+}
+
+/// AVX2+FMA build (paper's "Haswell" configuration).
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2Backend;
+
+#[cfg(target_arch = "x86_64")]
+impl GemmBackend for Avx2Backend {
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn isa(&self) -> Isa {
+        Isa::Avx2
+    }
+
+    fn supported(&self) -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+        // SAFETY: `supported` gated the selection of this backend.
+        unsafe { crate::kernels::gemm_avx2(spec, a, b, c) }
+    }
+}
+
+/// AVX-512 build (paper's "Skylake" configuration).
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct Avx512Backend;
+
+#[cfg(target_arch = "x86_64")]
+impl GemmBackend for Avx512Backend {
+    fn name(&self) -> &'static str {
+        "avx512"
+    }
+
+    fn isa(&self) -> Isa {
+        Isa::Avx512
+    }
+
+    fn supported(&self) -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+    }
+
+    fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+        // SAFETY: `supported` gated the selection of this backend.
+        unsafe { crate::kernels::gemm_avx512(spec, a, b, c) }
+    }
+}
+
+/// All backends, widest (most preferred) first.
+pub fn backends() -> &'static [&'static dyn GemmBackend] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        &[&Avx512Backend, &Avx2Backend, &BaselineBackend]
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        &[&BaselineBackend]
+    }
+}
+
+/// Picks the widest host-supported backend at or below the `cap` ISA —
+/// the plan-time selection step (the cap emulates the paper's
+/// "AVX2 build on an AVX-512 machine" comparison, Fig. 4).
+pub fn select_backend(cap: Isa) -> &'static dyn GemmBackend {
+    backends()
+        .iter()
+        .copied()
+        .find(|b| b.isa() <= cap && b.supported())
+        .unwrap_or(&BaselineBackend)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_always_supported_and_last_resort() {
+        assert!(BaselineBackend.supported());
+        assert_eq!(select_backend(Isa::Baseline).name(), "baseline");
+    }
+
+    #[test]
+    fn selection_respects_cap_and_host() {
+        for cap in [Isa::Baseline, Isa::Avx2, Isa::Avx512] {
+            let b = select_backend(cap);
+            assert!(b.isa() <= cap, "cap {cap:?} gave {}", b.name());
+            assert!(b.supported());
+        }
+        // The uncapped selection must match plain feature detection.
+        assert_eq!(select_backend(Isa::Avx512).isa(), Isa::detect());
+    }
+
+    #[test]
+    fn backends_are_ordered_widest_first() {
+        let list = backends();
+        for pair in list.windows(2) {
+            assert!(pair[0].isa() >= pair[1].isa());
+        }
+        assert_eq!(list.last().unwrap().name(), "baseline");
+    }
+
+    #[test]
+    fn backend_executes_like_autovec() {
+        let spec = GemmSpec::dense(3, 5, 4);
+        let a: Vec<f64> = (0..12).map(|x| x as f64 * 0.25).collect();
+        let b: Vec<f64> = (0..20).map(|x| 1.0 - x as f64 * 0.1).collect();
+        let mut c1 = vec![0.0; 15];
+        let mut c2 = vec![0.0; 15];
+        gemm_autovec(&spec, &a, &b, &mut c1);
+        select_backend(Isa::Avx512).execute(&spec, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

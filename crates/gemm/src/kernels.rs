@@ -255,18 +255,20 @@ impl Isa {
     }
 }
 
-/// A planned GEMM: spec plus the kernel chosen for the host at plan time.
+/// A planned GEMM: spec plus the backend chosen for the host at plan time.
 ///
 /// This is the analogue of a generated-and-dispatched LIBXSMM kernel: all
-/// size/stride decisions happen once, `execute` is the hot call.
+/// size/stride and ISA decisions happen once, through
+/// [`select_backend`](crate::backend::select_backend); `execute` is the
+/// hot call.
 #[derive(Debug, Clone)]
 pub struct Gemm {
     spec: GemmSpec,
-    isa: Isa,
+    backend: &'static dyn crate::backend::GemmBackend,
 }
 
 impl Gemm {
-    /// Plans `spec` with the best ISA the host supports.
+    /// Plans `spec` with the best backend the host supports.
     pub fn new(spec: GemmSpec) -> Self {
         Self::with_isa(spec, Isa::detect())
     }
@@ -276,8 +278,14 @@ impl Gemm {
     pub fn with_isa(spec: GemmSpec, isa: Isa) -> Self {
         Self {
             spec,
-            isa: isa.min(Isa::detect()),
+            backend: crate::backend::select_backend(isa),
         }
+    }
+
+    /// Plans `spec` on an explicit backend (the caller vouches the host
+    /// supports it).
+    pub fn with_backend(spec: GemmSpec, backend: &'static dyn crate::backend::GemmBackend) -> Self {
+        Self { spec, backend }
     }
 
     /// The descriptor this plan executes.
@@ -285,23 +293,20 @@ impl Gemm {
         &self.spec
     }
 
-    /// The ISA the plan dispatches to.
+    /// The backend the plan dispatches to.
+    pub fn backend(&self) -> &'static dyn crate::backend::GemmBackend {
+        self.backend
+    }
+
+    /// The ISA level the plan dispatches to.
     pub fn isa(&self) -> Isa {
-        self.isa
+        self.backend.isa()
     }
 
     /// Runs the planned multiplication on whole buffers.
     #[inline]
     pub fn execute(&self, a: &[f64], b: &[f64], c: &mut [f64]) {
-        match self.isa {
-            #[cfg(target_arch = "x86_64")]
-            // SAFETY: `with_isa` clamps to host-supported features.
-            Isa::Avx512 => unsafe { gemm_avx512(&self.spec, a, b, c) },
-            #[cfg(target_arch = "x86_64")]
-            // SAFETY: as above.
-            Isa::Avx2 => unsafe { gemm_avx2(&self.spec, a, b, c) },
-            _ => gemm_autovec(&self.spec, a, b, c),
-        }
+        self.backend.execute(&self.spec, a, b, c);
     }
 
     /// Runs the planned multiplication on tensor slices given by offsets —
@@ -331,14 +336,7 @@ mod tests {
     use super::*;
 
     fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
-        // Tiny deterministic LCG; no external deps in unit tests.
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        (0..len)
-            .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
-            })
-            .collect()
+        aderdg_tensor::Lcg::new(seed).vec(len, -1.0, 1.0)
     }
 
     fn check_against_naive(spec: GemmSpec, seed: u64) {
@@ -370,8 +368,7 @@ mod tests {
 
     #[test]
     fn matches_naive_across_shapes() {
-        let mut seed = 7;
-        for &(m, n, k) in &[
+        let shapes = [
             (1, 1, 1),
             (4, 16, 4),
             (5, 17, 3),
@@ -381,9 +378,9 @@ mod tests {
             (11, 33, 9),
             (16, 16, 16),
             (2, 130, 4),
-        ] {
-            check_against_naive(GemmSpec::dense(m, n, k), seed);
-            seed += 1;
+        ];
+        for (i, &(m, n, k)) in shapes.iter().enumerate() {
+            check_against_naive(GemmSpec::dense(m, n, k), 7 + i as u64);
         }
     }
 

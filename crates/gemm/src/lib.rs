@@ -12,8 +12,10 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod kernels;
 pub mod spec;
 
+pub use backend::{backends, select_backend, GemmBackend};
 pub use kernels::{gemm_autovec, gemm_naive, Gemm, Isa};
 pub use spec::GemmSpec;

@@ -1,16 +1,18 @@
-//! Property-based equivalence of the tiled/planned kernels vs the naive
-//! reference, across random shapes, strides, scales and ISA caps.
+//! Property-style equivalence of the tiled/planned kernels vs the naive
+//! reference, across random shapes, strides, scales and ISA caps —
+//! deterministic seeded sweeps (hermetic build — no external
+//! property-testing framework).
 
-use aderdg_gemm::{gemm_naive, Gemm, GemmSpec, Isa};
-use proptest::prelude::*;
-use rand::{Rng, SeedableRng};
+use aderdg_gemm::{gemm_naive, select_backend, Gemm, GemmSpec, Isa};
+use aderdg_tensor::Lcg;
 
-fn run_case(spec: GemmSpec, isa: Isa, seed: u64) -> Result<(), TestCaseError> {
+const ISAS: [Isa; 3] = [Isa::Baseline, Isa::Avx2, Isa::Avx512];
+
+fn run_case(spec: GemmSpec, isa: Isa, rng: &mut Lcg) {
     let (ra, rb, rc) = spec.required_lens();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let a: Vec<f64> = (0..ra.max(1)).map(|_| rng.gen_range(-2.0..2.0)).collect();
-    let b: Vec<f64> = (0..rb.max(1)).map(|_| rng.gen_range(-2.0..2.0)).collect();
-    let c0: Vec<f64> = (0..rc.max(1)).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let a = rng.vec(ra.max(1), -2.0, 2.0);
+    let b = rng.vec(rb.max(1), -2.0, 2.0);
+    let c0 = rng.vec(rc.max(1), -2.0, 2.0);
 
     let mut c_ref = c0.clone();
     gemm_naive(&spec, &a, &b, &mut c_ref);
@@ -19,59 +21,74 @@ fn run_case(spec: GemmSpec, isa: Isa, seed: u64) -> Result<(), TestCaseError> {
     Gemm::with_isa(spec, isa).execute(&a, &b, &mut c_got);
 
     for (i, (g, w)) in c_got.iter().zip(&c_ref).enumerate() {
-        prop_assert!(
+        assert!(
             (g - w).abs() <= 1e-10 * (1.0 + w.abs()),
-            "spec={:?} isa={:?} idx={}: {} vs {}",
-            spec,
-            isa,
-            i,
-            g,
-            w
+            "spec={spec:?} isa={isa:?} idx={i}: {g} vs {w}"
         );
     }
-    Ok(())
 }
 
-fn arb_isa() -> impl Strategy<Value = Isa> {
-    prop_oneof![Just(Isa::Baseline), Just(Isa::Avx2), Just(Isa::Avx512)]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn planned_matches_naive(
-        m in 1usize..24,
-        n in 1usize..40,
-        k in 1usize..16,
-        da in 0usize..6,
-        db in 0usize..6,
-        dc in 0usize..6,
-        alpha in -2.0f64..2.0,
-        beta_sel in 0usize..4,
-        isa in arb_isa(),
-        seed in any::<u64>(),
-    ) {
-        let beta = [0.0, 1.0, -1.0, 0.5][beta_sel];
-        let spec = GemmSpec::dense(m, n, k)
-            .with_ld(k + da, n + db, n + dc)
-            .with_scale(alpha, beta);
-        run_case(spec, isa, seed)?;
+#[test]
+fn planned_matches_naive() {
+    // 128 random cases per ISA cap, mirroring the former proptest config.
+    for isa in ISAS {
+        let mut rng = Lcg::new(0xA11CE ^ isa.width_doubles() as u64);
+        for _ in 0..128 {
+            let m = rng.usize(1, 24);
+            let n = rng.usize(1, 40);
+            let k = rng.usize(1, 16);
+            let (da, db, dc) = (rng.usize(0, 6), rng.usize(0, 6), rng.usize(0, 6));
+            let alpha = rng.f64(-2.0, 2.0);
+            let beta = [0.0, 1.0, -1.0, 0.5][rng.usize(0, 4)];
+            let spec = GemmSpec::dense(m, n, k)
+                .with_ld(k + da, n + db, n + dc)
+                .with_scale(alpha, beta);
+            run_case(spec, isa, &mut rng);
+        }
     }
+}
 
-    #[test]
-    fn gemm_is_linear_in_a(
-        m in 1usize..8,
-        n in 1usize..20,
-        k in 1usize..8,
-        s in -3.0f64..3.0,
-        seed in any::<u64>(),
-    ) {
-        // (s·A)·B == s·(A·B) — linearity the CK predictor relies on.
+#[test]
+fn every_supported_backend_matches_naive() {
+    // The registry-style sweep: whatever `select_backend` yields per cap
+    // must agree with the reference on the same inputs.
+    for isa in ISAS {
+        let backend = select_backend(isa);
+        let mut rng = Lcg::new(0xBACC ^ isa.width_doubles() as u64);
+        for _ in 0..32 {
+            let m = rng.usize(1, 12);
+            let n = rng.usize(1, 33);
+            let k = rng.usize(1, 12);
+            let spec = GemmSpec::dense(m, n, k);
+            let a = rng.vec(m * k, -2.0, 2.0);
+            let b = rng.vec(k * n, -2.0, 2.0);
+            let mut c_ref = vec![0.0; m * n];
+            gemm_naive(&spec, &a, &b, &mut c_ref);
+            let mut c_got = vec![0.0; m * n];
+            backend.execute(&spec, &a, &b, &mut c_got);
+            for (g, w) in c_got.iter().zip(&c_ref) {
+                assert!(
+                    (g - w).abs() <= 1e-10 * (1.0 + w.abs()),
+                    "backend={}",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_is_linear_in_a() {
+    // (s·A)·B == s·(A·B) — linearity the CK predictor relies on.
+    let mut rng = Lcg::new(42);
+    for _ in 0..64 {
+        let m = rng.usize(1, 8);
+        let n = rng.usize(1, 20);
+        let k = rng.usize(1, 8);
+        let s = rng.f64(-3.0, 3.0);
         let spec = GemmSpec::dense(m, n, k);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = rng.vec(m * k, -2.0, 2.0);
+        let b = rng.vec(k * n, -2.0, 2.0);
         let sa: Vec<f64> = a.iter().map(|&x| s * x).collect();
 
         let plan = Gemm::new(spec);
@@ -81,22 +98,22 @@ proptest! {
         plan.execute(&a, &b, &mut c2);
 
         for (x, y) in c1.iter().zip(&c2) {
-            prop_assert!((x - s * y).abs() < 1e-9 * (1.0 + (s * y).abs()));
+            assert!((x - s * y).abs() < 1e-9 * (1.0 + (s * y).abs()));
         }
     }
+}
 
-    #[test]
-    fn accumulation_equals_two_step(
-        m in 1usize..8,
-        n in 1usize..20,
-        k in 1usize..8,
-        seed in any::<u64>(),
-    ) {
-        // C = A·B1 then C += A·B2  ==  C = A·(B1 + B2).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b1: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let b2: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+#[test]
+fn accumulation_equals_two_step() {
+    // C = A·B1 then C += A·B2  ==  C = A·(B1 + B2).
+    let mut rng = Lcg::new(77);
+    for _ in 0..64 {
+        let m = rng.usize(1, 8);
+        let n = rng.usize(1, 20);
+        let k = rng.usize(1, 8);
+        let a = rng.vec(m * k, -2.0, 2.0);
+        let b1 = rng.vec(k * n, -2.0, 2.0);
+        let b2 = rng.vec(k * n, -2.0, 2.0);
         let bsum: Vec<f64> = b1.iter().zip(&b2).map(|(x, y)| x + y).collect();
 
         let overwrite = Gemm::new(GemmSpec::dense(m, n, k));
@@ -110,7 +127,7 @@ proptest! {
         overwrite.execute(&a, &bsum, &mut c_ref);
 
         for (x, y) in c.iter().zip(&c_ref) {
-            prop_assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()));
         }
     }
 }

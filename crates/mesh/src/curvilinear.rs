@@ -85,10 +85,7 @@ pub struct SineDeformation {
 impl CurvilinearMap for SineDeformation {
     fn map(&self, x: [f64; 3]) -> [f64; 3] {
         let tau = 2.0 * std::f64::consts::PI;
-        let s = self.amplitude
-            * (tau * x[0]).sin()
-            * (tau * x[1]).sin()
-            * (tau * x[2]).sin();
+        let s = self.amplitude * (tau * x[0]).sin() * (tau * x[1]).sin() * (tau * x[2]).sin();
         [x[0] + s, x[1] + s, x[2] + s]
     }
 
@@ -194,7 +191,12 @@ mod tests {
         }
         let jf = Fd(m).jacobian(x);
         for i in 0..9 {
-            assert!((ja[i] - jf[i]).abs() < 1e-8, "i={i}: {} vs {}", ja[i], jf[i]);
+            assert!(
+                (ja[i] - jf[i]).abs() < 1e-8,
+                "i={i}: {} vs {}",
+                ja[i],
+                jf[i]
+            );
         }
     }
 

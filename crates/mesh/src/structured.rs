@@ -148,7 +148,11 @@ impl StructuredMesh {
     pub fn cell_point(&self, idx: usize, xi: [f64; 3]) -> [f64; 3] {
         let o = self.cell_origin(idx);
         let h = self.cell_size();
-        [o[0] + xi[0] * h[0], o[1] + xi[1] * h[1], o[2] + xi[2] * h[2]]
+        [
+            o[0] + xi[0] * h[0],
+            o[1] + xi[1] * h[1],
+            o[2] + xi[2] * h[2],
+        ]
     }
 
     /// The physical centre of a cell.

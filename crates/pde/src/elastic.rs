@@ -302,7 +302,8 @@ impl ExactSolution for ElasticPlaneWave {
         let m = self.polarization;
         let c = self.speed();
         let (lam, mu) = (self.material.lambda(), self.material.mu());
-        let phase = 2.0 * std::f64::consts::PI
+        let phase = 2.0
+            * std::f64::consts::PI
             * self.wavenumber
             * (n[0] * x[0] + n[1] * x[1] + n[2] * x[2] - c * t);
         let a = self.amplitude * phase.sin();

@@ -163,7 +163,8 @@ impl ExactSolution for MaxwellPlaneWave {
         let n = self.direction;
         let p = self.polarization;
         let c = 1.0 / (self.epsilon * self.mu).sqrt();
-        let phase = 2.0 * std::f64::consts::PI
+        let phase = 2.0
+            * std::f64::consts::PI
             * self.wavenumber
             * (n[0] * x[0] + n[1] * x[1] + n[2] * x[2] - c * t);
         let a = self.amplitude * phase.sin();
@@ -230,7 +231,10 @@ mod tests {
                 let mut fi = vec![0.0; m];
                 pde.flux(d, &qi, &mut fi);
                 for s in 0..m {
-                    assert!((fv[s * stride + i] - fi[s]).abs() < 1e-14, "d={d} s={s} i={i}");
+                    assert!(
+                        (fv[s * stride + i] - fi[s]).abs() < 1e-14,
+                        "d={d} s={s} i={i}"
+                    );
                 }
             }
             for s in 0..m {

@@ -68,9 +68,7 @@ impl SourceTimeFunction {
     /// Exact derivatives `g⁽ⁿ⁾(t)` for `n = 0..=order`.
     pub fn derivatives(&self, t: f64, order: usize) -> Vec<f64> {
         match *self {
-            SourceTimeFunction::Gaussian { t0, sigma } => {
-                gaussian_derivatives(t, t0, sigma, order)
-            }
+            SourceTimeFunction::Gaussian { t0, sigma } => gaussian_derivatives(t, t0, sigma, order),
             SourceTimeFunction::Ricker { t0, frequency } => {
                 let sigma = 1.0 / (std::f64::consts::SQRT_2 * std::f64::consts::PI * frequency);
                 let g = gaussian_derivatives(t, t0, sigma, order + 2);
@@ -134,7 +132,10 @@ mod tests {
 
     #[test]
     fn gaussian_derivatives_match_finite_differences() {
-        let stf = SourceTimeFunction::Gaussian { t0: 0.4, sigma: 0.15 };
+        let stf = SourceTimeFunction::Gaussian {
+            t0: 0.4,
+            sigma: 0.15,
+        };
         for &t in &[0.1, 0.35, 0.4, 0.6] {
             let d = stf.derivatives(t, 3);
             let fd1 = fd_derivative(|s| stf.value(s), t, 1e-6);
@@ -180,13 +181,16 @@ mod tests {
         let src = PointSource {
             position: [0.5; 3],
             amplitude: vec![0.0, 2.0, -1.0],
-            stf: SourceTimeFunction::Gaussian { t0: 0.0, sigma: 1.0 },
+            stf: SourceTimeFunction::Gaussian {
+                t0: 0.0,
+                sigma: 1.0,
+            },
         };
         let d = src.amplitude_derivatives(0.0, 2);
         assert_eq!(d.len(), 3);
         assert_eq!(d[0], vec![0.0, 2.0, -1.0]); // g(0) = 1
         assert_eq!(d[1], vec![0.0, 0.0, 0.0]); // g'(0) = 0
-        // g''(0) = -1/σ² = -1.
+                                               // g''(0) = -1/σ² = -1.
         assert_eq!(d[2], vec![0.0, -2.0, 1.0]);
     }
 }

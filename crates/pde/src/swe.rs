@@ -140,7 +140,8 @@ impl ExactSolution for SweGravityWave {
     fn evaluate(&self, x: [f64; 3], t: f64, q: &mut [f64]) {
         let n = self.direction;
         let c = self.speed();
-        let phase = 2.0 * std::f64::consts::PI
+        let phase = 2.0
+            * std::f64::consts::PI
             * self.wavenumber
             * (n[0] * x[0] + n[1] * x[1] + n[2] * x[2] - c * t);
         let eta = self.amplitude * phase.sin();

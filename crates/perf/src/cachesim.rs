@@ -183,8 +183,7 @@ impl CacheSim {
             return;
         }
         if let Some(l3) = &mut self.l3 {
-            if l3.access(line) {
-            }
+            if l3.access(line) {}
         }
     }
 

@@ -67,8 +67,7 @@ pub fn fma_burn(iters: u64) -> f64 {
             // SAFETY: feature checked above.
             return unsafe { fma_burn_avx512(iters) };
         }
-        if std::arch::is_x86_feature_detected!("avx2")
-            && std::arch::is_x86_feature_detected!("fma")
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
         {
             // SAFETY: feature checked above.
             return unsafe { fma_burn_avx2(iters) };

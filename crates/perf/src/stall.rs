@@ -200,8 +200,6 @@ mod tests {
             p512: 1_000_000,
             ..Default::default()
         };
-        assert!(
-            m.stall_fraction_mix(&s, &packed_mix) > m.stall_fraction_mix(&s, &scalar_mix)
-        );
+        assert!(m.stall_fraction_mix(&s, &packed_mix) > m.stall_fraction_mix(&s, &scalar_mix));
     }
 }

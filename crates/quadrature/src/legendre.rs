@@ -32,7 +32,11 @@ pub fn legendre(n: usize, x: f64) -> (f64, f64) {
     // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1); use the recurrence-safe form.
     let dp = if (x * x - 1.0).abs() < 1e-300 {
         // Endpoint derivative: P_n'(±1) = ±^{n+1} n(n+1)/2.
-        let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 + 1) };
+        let sign = if x > 0.0 {
+            1.0
+        } else {
+            (-1.0f64).powi(n as i32 + 1)
+        };
         sign * (n * (n + 1)) as f64 / 2.0
     } else {
         (n as f64) * (x * p - p_prev) / (x * x - 1.0)
@@ -184,10 +188,7 @@ mod tests {
             for deg in 0..=(2 * n - 1) {
                 let exact = 1.0 / (deg as f64 + 1.0);
                 let q = integrate(&x, &w, |t| t.powi(deg as i32));
-                assert!(
-                    (q - exact).abs() < 1e-12,
-                    "n={n} deg={deg}: {q} vs {exact}"
-                );
+                assert!((q - exact).abs() < 1e-12, "n={n} deg={deg}: {q} vs {exact}");
             }
         }
     }
@@ -199,10 +200,7 @@ mod tests {
             for deg in 0..=(2 * n - 3) {
                 let exact = 1.0 / (deg as f64 + 1.0);
                 let q = integrate(&x, &w, |t| t.powi(deg as i32));
-                assert!(
-                    (q - exact).abs() < 1e-11,
-                    "n={n} deg={deg}: {q} vs {exact}"
-                );
+                assert!((q - exact).abs() < 1e-11, "n={n} deg={deg}: {q} vs {exact}");
             }
         }
     }

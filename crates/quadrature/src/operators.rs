@@ -142,8 +142,7 @@ mod tests {
             for k in 0..n {
                 for l in 0..n {
                     let lhs = b.stiff[k * n + l] + b.stiff[l * n + k];
-                    let rhs =
-                        b.phi_right[k] * b.phi_right[l] - b.phi_left[k] * b.phi_left[l];
+                    let rhs = b.phi_right[k] * b.phi_right[l] - b.phi_left[k] * b.phi_left[l];
                     assert!(
                         (lhs - rhs).abs() < 1e-10,
                         "n={n} k={k} l={l}: {lhs} vs {rhs}"
@@ -211,7 +210,9 @@ mod tests {
         let x0 = 0.37;
         let coeffs = b.point_source_coeffs(x0);
         let p = |x: f64| 4.0 * x.powi(5) - 2.0 * x.powi(2) + 1.0;
-        let lhs: f64 = (0..6).map(|k| b.weights[k] * p(b.nodes[k]) * coeffs[k]).sum();
+        let lhs: f64 = (0..6)
+            .map(|k| b.weights[k] * p(b.nodes[k]) * coeffs[k])
+            .sum();
         assert!((lhs - p(x0)).abs() < 1e-11);
     }
 

@@ -1,8 +1,9 @@
-//! Property-based tests: quadrature exactness and differentiation-matrix
-//! exactness on random polynomials.
+//! Property-style tests: quadrature exactness and differentiation-matrix
+//! exactness on random polynomials, driven by deterministic seeded sweeps
+//! (hermetic build — no external property-testing framework).
 
 use aderdg_quadrature::{nodes_weights_01, Basis1d, QuadratureRule};
-use proptest::prelude::*;
+use aderdg_tensor::Lcg;
 
 /// Evaluates a polynomial given by `coeffs` (ascending degree) at `x`.
 fn poly(coeffs: &[f64], x: f64) -> f64 {
@@ -28,76 +29,96 @@ fn ipoly(coeffs: &[f64]) -> f64 {
         .sum()
 }
 
-proptest! {
-    #[test]
-    fn gauss_legendre_integrates_random_polys_exactly(
-        n in 1usize..10,
-        coeffs in prop::collection::vec(-3.0f64..3.0, 1..=19),
-    ) {
-        // Truncate to the exactness degree 2n - 1.
-        let deg_max = 2 * n - 1;
-        let coeffs = &coeffs[..coeffs.len().min(deg_max + 1)];
-        let (x, w) = nodes_weights_01(QuadratureRule::GaussLegendre, n);
-        let q: f64 = x.iter().zip(&w).map(|(&xi, &wi)| wi * poly(coeffs, xi)).sum();
-        let exact = ipoly(coeffs);
-        prop_assert!((q - exact).abs() < 1e-10 * (1.0 + exact.abs()),
-            "n={} q={} exact={}", n, q, exact);
-    }
-
-    #[test]
-    fn gauss_lobatto_integrates_random_polys_exactly(
-        n in 2usize..10,
-        coeffs in prop::collection::vec(-3.0f64..3.0, 1..=15),
-    ) {
-        let deg_max = 2 * n - 3;
-        let coeffs = &coeffs[..coeffs.len().min(deg_max + 1)];
-        let (x, w) = nodes_weights_01(QuadratureRule::GaussLobatto, n);
-        let q: f64 = x.iter().zip(&w).map(|(&xi, &wi)| wi * poly(coeffs, xi)).sum();
-        let exact = ipoly(coeffs);
-        prop_assert!((q - exact).abs() < 1e-10 * (1.0 + exact.abs()));
-    }
-
-    #[test]
-    fn diff_matrix_differentiates_random_polys(
-        n in 2usize..10,
-        coeffs in prop::collection::vec(-2.0f64..2.0, 1..=9),
-    ) {
-        let coeffs = &coeffs[..coeffs.len().min(n)]; // degree < n
-        let b = Basis1d::new(QuadratureRule::GaussLegendre, n);
-        let f: Vec<f64> = b.nodes.iter().map(|&x| poly(coeffs, x)).collect();
-        for k in 0..n {
-            let dfk: f64 = (0..n).map(|l| b.diff[k * n + l] * f[l]).sum();
-            let exact = dpoly(coeffs, b.nodes[k]);
-            prop_assert!((dfk - exact).abs() < 1e-8 * (1.0 + exact.abs()),
-                "n={} k={}: {} vs {}", n, k, dfk, exact);
+#[test]
+fn gauss_legendre_integrates_random_polys_exactly() {
+    for n in 1usize..10 {
+        for seed in 0..8 {
+            // Degree up to the exactness limit 2n - 1.
+            let deg_max = 2 * n - 1;
+            let mut rng = Lcg::new(n as u64 * 100 + seed);
+            let coeffs = rng.vec(deg_max + 1, -3.0, 3.0);
+            let (x, w) = nodes_weights_01(QuadratureRule::GaussLegendre, n);
+            let q: f64 = x
+                .iter()
+                .zip(&w)
+                .map(|(&xi, &wi)| wi * poly(&coeffs, xi))
+                .sum();
+            let exact = ipoly(&coeffs);
+            assert!(
+                (q - exact).abs() < 1e-10 * (1.0 + exact.abs()),
+                "n={n} q={q} exact={exact}"
+            );
         }
     }
+}
 
-    #[test]
-    fn interpolation_reproduces_random_polys(
-        n in 1usize..10,
-        coeffs in prop::collection::vec(-2.0f64..2.0, 1..=9),
-        x in 0.0f64..1.0,
-    ) {
-        let coeffs = &coeffs[..coeffs.len().min(n)];
-        let b = Basis1d::new(QuadratureRule::GaussLegendre, n);
-        let f: Vec<f64> = b.nodes.iter().map(|&t| poly(coeffs, t)).collect();
-        let p = b.interpolate(&f, x);
-        let exact = poly(coeffs, x);
-        prop_assert!((p - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+#[test]
+fn gauss_lobatto_integrates_random_polys_exactly() {
+    for n in 2usize..10 {
+        for seed in 0..8 {
+            let deg_max = 2 * n - 3;
+            let mut rng = Lcg::new(n as u64 * 100 + seed + 0xB0BA);
+            let coeffs = rng.vec(deg_max + 1, -3.0, 3.0);
+            let (x, w) = nodes_weights_01(QuadratureRule::GaussLobatto, n);
+            let q: f64 = x
+                .iter()
+                .zip(&w)
+                .map(|(&xi, &wi)| wi * poly(&coeffs, xi))
+                .sum();
+            let exact = ipoly(&coeffs);
+            assert!((q - exact).abs() < 1e-10 * (1.0 + exact.abs()));
+        }
     }
+}
 
-    #[test]
-    fn face_projection_consistent_with_interpolation(
-        n in 2usize..9,
-        coeffs in prop::collection::vec(-2.0f64..2.0, 1..=8),
-    ) {
-        let coeffs = &coeffs[..coeffs.len().min(n)];
-        let b = Basis1d::new(QuadratureRule::GaussLegendre, n);
-        let f: Vec<f64> = b.nodes.iter().map(|&t| poly(coeffs, t)).collect();
-        let left: f64 = b.phi_left.iter().zip(&f).map(|(p, v)| p * v).sum();
-        let right: f64 = b.phi_right.iter().zip(&f).map(|(p, v)| p * v).sum();
-        prop_assert!((left - poly(coeffs, 0.0)).abs() < 1e-9);
-        prop_assert!((right - poly(coeffs, 1.0)).abs() < 1e-9);
+#[test]
+fn diff_matrix_differentiates_random_polys() {
+    for n in 2usize..10 {
+        for seed in 0..8 {
+            let mut rng = Lcg::new(n as u64 * 37 + seed);
+            let coeffs = rng.vec(n.min(9), -2.0, 2.0); // degree < n
+            let b = Basis1d::new(QuadratureRule::GaussLegendre, n);
+            let f: Vec<f64> = b.nodes.iter().map(|&x| poly(&coeffs, x)).collect();
+            for k in 0..n {
+                let dfk: f64 = (0..n).map(|l| b.diff[k * n + l] * f[l]).sum();
+                let exact = dpoly(&coeffs, b.nodes[k]);
+                assert!(
+                    (dfk - exact).abs() < 1e-8 * (1.0 + exact.abs()),
+                    "n={n} k={k}: {dfk} vs {exact}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interpolation_reproduces_random_polys() {
+    for n in 1usize..10 {
+        for seed in 0..8 {
+            let mut rng = Lcg::new(n as u64 * 53 + seed);
+            let coeffs = rng.vec(n.min(9), -2.0, 2.0);
+            let x = rng.f64(0.0, 1.0);
+            let b = Basis1d::new(QuadratureRule::GaussLegendre, n);
+            let f: Vec<f64> = b.nodes.iter().map(|&t| poly(&coeffs, t)).collect();
+            let p = b.interpolate(&f, x);
+            let exact = poly(&coeffs, x);
+            assert!((p - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+        }
+    }
+}
+
+#[test]
+fn face_projection_consistent_with_interpolation() {
+    for n in 2usize..9 {
+        for seed in 0..8 {
+            let mut rng = Lcg::new(n as u64 * 71 + seed);
+            let coeffs = rng.vec(n.min(8), -2.0, 2.0);
+            let b = Basis1d::new(QuadratureRule::GaussLegendre, n);
+            let f: Vec<f64> = b.nodes.iter().map(|&t| poly(&coeffs, t)).collect();
+            let left: f64 = b.phi_left.iter().zip(&f).map(|(p, v)| p * v).sum();
+            let right: f64 = b.phi_right.iter().zip(&f).map(|(p, v)| p * v).sum();
+            assert!((left - poly(&coeffs, 0.0)).abs() < 1e-9);
+            assert!((right - poly(&coeffs, 1.0)).abs() < 1e-9);
+        }
     }
 }

@@ -1,0 +1,83 @@
+//! A tiny deterministic LCG used by tests, benches and examples across
+//! the workspace — the hermetic substitute for an external RNG crate.
+//! One canonical implementation instead of per-file copies.
+//!
+//! Knuth's MMIX multiplier; the top 53 bits feed the double mantissa.
+//! Not for cryptography or statistics — for reproducible test data only.
+
+/// Deterministic 64-bit linear congruential generator.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Seeds the generator (any seed is fine, including 0).
+    pub fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+
+    /// Next raw 64-bit state.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform double in `[lo, hi)`.
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform double in `[-0.5, 0.5)` (the historical test-state range).
+    pub fn unit(&mut self) -> f64 {
+        self.f64(-0.5, 0.5)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// A vector of `len` uniform doubles in `[lo, hi)`.
+    pub fn vec(&mut self, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..len).map(|_| self.f64(lo, hi)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            let x = a.f64(-1.0, 1.0);
+            assert_eq!(x, b.f64(-1.0, 1.0));
+            assert!((-1.0..1.0).contains(&x));
+        }
+        let mut c = Lcg::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn usize_respects_bounds() {
+        let mut rng = Lcg::new(7);
+        for _ in 0..1000 {
+            let v = rng.usize(3, 9);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_has_len_and_spread() {
+        let mut rng = Lcg::new(1);
+        let v = rng.vec(256, 0.0, 1.0);
+        assert_eq!(v.len(), 256);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 0.5).abs() < 0.1, "mean={mean}");
+    }
+}

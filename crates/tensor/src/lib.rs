@@ -15,12 +15,16 @@
 
 pub mod aligned;
 pub mod layout;
+pub mod lcg;
 pub mod padding;
 pub mod slice;
 pub mod transpose;
 
 pub use aligned::{AlignedVec, ALIGNMENT};
 pub use layout::{DofLayout, FaceLayout, LayoutKind};
+pub use lcg::Lcg;
 pub use padding::{pad_to, pad_to_simd, padding_overhead, SimdWidth};
 pub use slice::{MatView, MatViewMut};
-pub use transpose::{aos_to_aosoa, aosoa_to_aos, convert, transpose_matrix, transpose_matrix_padded};
+pub use transpose::{
+    aos_to_aosoa, aosoa_to_aos, convert, transpose_matrix, transpose_matrix_padded,
+};

@@ -20,8 +20,17 @@ impl<'a> MatView<'a> {
     /// Creates a view of `rows × cols` entries starting at `offset`, rows
     /// `row_stride` doubles apart. Panics if the view would read out of
     /// bounds.
-    pub fn new(data: &'a [f64], offset: usize, rows: usize, cols: usize, row_stride: usize) -> Self {
-        assert!(row_stride >= cols || rows <= 1, "row stride shorter than a row");
+    pub fn new(
+        data: &'a [f64],
+        offset: usize,
+        rows: usize,
+        cols: usize,
+        row_stride: usize,
+    ) -> Self {
+        assert!(
+            row_stride >= cols || rows <= 1,
+            "row stride shorter than a row"
+        );
         let end = if rows == 0 || cols == 0 {
             offset
         } else {
@@ -103,7 +112,10 @@ impl<'a> MatViewMut<'a> {
         cols: usize,
         row_stride: usize,
     ) -> Self {
-        assert!(row_stride >= cols || rows <= 1, "row stride shorter than a row");
+        assert!(
+            row_stride >= cols || rows <= 1,
+            "row stride shorter than a row"
+        );
         let end = if rows == 0 || cols == 0 {
             offset
         } else {
@@ -216,7 +228,10 @@ mod tests {
             v.row_mut(1)[1] = 4.0;
             assert_eq!(v.get(1, 1), 4.0);
         }
-        assert_eq!(t, vec![0.0, 1.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(
+            t,
+            vec![0.0, 1.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]
+        );
     }
 
     #[test]

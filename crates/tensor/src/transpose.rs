@@ -119,8 +119,7 @@ mod tests {
             for k2 in 0..l.n {
                 for k1 in 0..l.n {
                     for s in 0..l.m {
-                        v[l.idx(k3, k2, k1, s)] =
-                            (((k3 * 100 + k2) * 100 + k1) * 100 + s) as f64;
+                        v[l.idx(k3, k2, k1, s)] = (((k3 * 100 + k2) * 100 + k1) * 100 + s) as f64;
                     }
                 }
             }
@@ -180,9 +179,15 @@ mod tests {
     #[test]
     fn dense_transpose() {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
-        assert_eq!(transpose_matrix(&a, 2, 3), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(
+            transpose_matrix(&a, 2, 3),
+            vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]
+        );
         let p = transpose_matrix_padded(&a, 2, 3, 4);
-        assert_eq!(p, vec![1.0, 4.0, 0.0, 0.0, 2.0, 5.0, 0.0, 0.0, 3.0, 6.0, 0.0, 0.0]);
+        assert_eq!(
+            p,
+            vec![1.0, 4.0, 0.0, 0.0, 2.0, 5.0, 0.0, 0.0, 3.0, 6.0, 0.0, 0.0]
+        );
     }
 
     #[test]

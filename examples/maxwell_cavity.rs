@@ -9,7 +9,7 @@
 
 use aderdg::core::{Engine, SolverSpec};
 use aderdg::mesh::StructuredMesh;
-use aderdg::pde::{Maxwell, MaxwellPlaneWave, ExactSolution};
+use aderdg::pde::{ExactSolution, Maxwell, MaxwellPlaneWave};
 
 const SPEC: &str = "
 # Maxwell benchmark — Sec. V kernel, order 5
@@ -25,7 +25,7 @@ fn main() {
     println!(
         "specification: order {}, kernel {}, cfl {}",
         spec.order,
-        spec.variant.name(),
+        spec.kernel.label(),
         spec.cfl
     );
 

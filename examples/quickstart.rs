@@ -48,7 +48,10 @@ fn main() {
     let got = engine.sample(x);
     let mut want = vec![0.0; 4];
     wave.evaluate(x, engine.time, &mut want);
-    println!("\nsample at {x:?}: p = {:.6} (exact {:.6})", got[0], want[0]);
+    println!(
+        "\nsample at {x:?}: p = {:.6} (exact {:.6})",
+        got[0], want[0]
+    );
 
     let err = engine.l2_error(&wave);
     assert!(err < 5e-3, "unexpectedly large error {err}");

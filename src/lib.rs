@@ -37,11 +37,16 @@
 //! toolkit workflow:
 //!
 //! ```
-//! use aderdg::core::{KernelVariant, SolverSpec};
+//! use aderdg::core::{KernelRegistry, SolverSpec};
 //!
 //! let spec = SolverSpec::parse("order = 6\nkernel = aosoa_splitck\n").unwrap();
-//! assert_eq!(spec.variant, KernelVariant::AoSoASplitCk);
+//! assert_eq!(spec.kernel.name(), "aosoa_splitck");
 //! let _config = spec.engine_config();
+//!
+//! // The kernel set is open-ended: everything registered resolves.
+//! for kernel in KernelRegistry::global().kernels() {
+//!     assert!(KernelRegistry::global().resolve(kernel.name()).is_some());
+//! }
 //! ```
 
 pub use aderdg_core as core;

@@ -1,19 +1,16 @@
 //! Cross-crate integration tests through the `aderdg` facade: kernels,
 //! layouts, GEMM, mesh, PDEs and the engine working together.
 
-use aderdg::core::kernels::{run_stp, StpInputs, StpOutputs, StpScratch};
-use aderdg::core::{Engine, EngineConfig, KernelVariant, StpConfig, StpPlan};
+use aderdg::core::kernels::{StpInputs, StpOutputs};
+use aderdg::core::{Engine, EngineConfig, KernelRegistry, KernelVariant, StpConfig, StpPlan};
 use aderdg::mesh::{CurvilinearMap, SineDeformation, StructuredMesh};
 use aderdg::pde::{Elastic, ElasticPlaneWave, ExactSolution, LinearPde, Material};
 use aderdg::tensor::{aos_to_aosoa, aosoa_to_aos, SimdWidth};
 
 /// Reproducible random padded-AoS state with elastic parameters.
 fn elastic_state(plan: &StpPlan, curvilinear: bool, seed: u64) -> Vec<f64> {
-    let mut rng = seed | 1;
-    let mut next = move || {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((rng >> 11) as f64 / (1u64 << 53) as f64) - 0.5
-    };
+    let mut rng = aderdg::tensor::Lcg::new(seed);
+    let mut next = move || rng.unit();
     let m_pad = plan.aos.m_pad();
     let mat = Material {
         rho: 2.7,
@@ -47,9 +44,10 @@ fn elastic_state(plan: &StpPlan, curvilinear: bool, seed: u64) -> Vec<f64> {
 }
 
 #[test]
-fn four_variants_agree_on_curvilinear_elastic_at_all_tested_orders() {
+fn all_registered_kernels_agree_on_curvilinear_elastic_at_all_tested_orders() {
     // The paper's correctness contract, through the facade, with the full
-    // m = 21 curvilinear configuration.
+    // m = 21 curvilinear configuration — over *every* registered kernel,
+    // so a newly registered variant is cross-checked with zero edits.
     for order in [3, 5, 7] {
         let plan = StpPlan::new(StpConfig::new(order, 21), [0.25; 3]);
         let q0 = elastic_state(&plan, true, order as u64 * 7919);
@@ -60,16 +58,16 @@ fn four_variants_agree_on_curvilinear_elastic_at_all_tested_orders() {
         };
         let pde = Elastic;
         let mut reference: Option<StpOutputs> = None;
-        for variant in KernelVariant::ALL {
-            let mut scratch = StpScratch::new(variant, &plan);
+        for kernel in KernelRegistry::global().kernels() {
+            let mut scratch = kernel.make_scratch(&plan);
             let mut out = StpOutputs::new(&plan);
-            run_stp(&plan, &pde, &mut scratch, &inputs, &mut out);
+            kernel.run(&plan, &pde, scratch.as_mut(), &inputs, &mut out);
             if let Some(r) = &reference {
                 for (i, (a, b)) in out.qavg.iter().zip(r.qavg.iter()).enumerate() {
                     assert!(
                         (a - b).abs() < 1e-10 * (1.0 + b.abs()),
                         "{} qavg[{i}] order {order}: {a} vs {b}",
-                        variant.name()
+                        kernel.name()
                     );
                 }
                 for f in 0..6 {
@@ -97,7 +95,9 @@ fn aosoa_transpose_roundtrip_through_kernel_layouts() {
         );
         // Use only the first plan.aos.len() entries if m < 21.
         let mut src = vec![0.0; plan.aos.len()];
-        let m_pad_src = StpPlan::new(StpConfig::new(order, 21), [1.0; 3]).aos.m_pad();
+        let m_pad_src = StpPlan::new(StpConfig::new(order, 21), [1.0; 3])
+            .aos
+            .m_pad();
         for k in 0..order * order * order {
             for s in 0..m.min(21) {
                 src[k * plan.aos.m_pad() + s] = q0[k * m_pad_src + s];
@@ -187,8 +187,8 @@ fn scratch_footprints_match_perf_formulas_in_scaling() {
     use aderdg::perf::footprint;
     for order in [4, 6, 8, 10] {
         let plan = StpPlan::new(StpConfig::new(order, 21), [1.0; 3]);
-        let gen = StpScratch::new(KernelVariant::Generic, &plan).footprint_bytes();
-        let split = StpScratch::new(KernelVariant::SplitCk, &plan).footprint_bytes();
+        let gen = KernelVariant::Generic.kernel().footprint_bytes(&plan);
+        let split = KernelVariant::SplitCk.kernel().footprint_bytes(&plan);
         let f_gen = footprint::generic_temporaries_bytes(order, 21);
         let f_split = footprint::splitck_temporaries_bytes(order, 21);
         // Allocated scratch tracks the analytic formula within a factor
@@ -196,7 +196,10 @@ fn scratch_footprints_match_perf_formulas_in_scaling() {
         // padding; the scaling — the paper's claim — must match).
         let r_gen = gen as f64 / f_gen as f64;
         let r_split = split as f64 / f_split as f64;
-        assert!(r_gen > 0.5 && r_gen < 3.5, "order {order}: generic ratio {r_gen}");
+        assert!(
+            r_gen > 0.5 && r_gen < 3.5,
+            "order {order}: generic ratio {r_gen}"
+        );
         assert!(
             r_split > 0.2 && r_split < 3.0,
             "order {order}: splitck ratio {r_split}"
@@ -216,12 +219,13 @@ fn simd_width_override_keeps_results_identical() {
             false,
             1234,
         );
-        let mut scratch = StpScratch::new(KernelVariant::SplitCk, &plan);
+        let kernel = KernelVariant::SplitCk.kernel();
+        let mut scratch = kernel.make_scratch(&plan);
         let mut out = StpOutputs::new(&plan);
-        run_stp(
+        kernel.run(
             &plan,
             &pde,
-            &mut scratch,
+            scratch.as_mut(),
             &StpInputs {
                 q0: &q0,
                 dt: 1e-3,

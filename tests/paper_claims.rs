@@ -58,9 +58,14 @@ fn claim_splitck_footprint_reduction() {
 /// not drop below it once past the L2 capacity (order ≥ 6).
 #[test]
 fn claim_fig6_stall_shapes() {
-    let log: Vec<f64> = [5, 7, 9].iter().map(|&n| stall_fraction(KernelVariant::LoG, n)).collect();
-    let split: Vec<f64> =
-        [5, 7, 9].iter().map(|&n| stall_fraction(KernelVariant::SplitCk, n)).collect();
+    let log: Vec<f64> = [5, 7, 9]
+        .iter()
+        .map(|&n| stall_fraction(KernelVariant::LoG, n))
+        .collect();
+    let split: Vec<f64> = [5, 7, 9]
+        .iter()
+        .map(|&n| stall_fraction(KernelVariant::SplitCk, n))
+        .collect();
     assert!(
         split[2] < split[0],
         "SplitCK stalls must decrease with order: {split:?}"

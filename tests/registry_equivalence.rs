@@ -1,0 +1,127 @@
+//! Registry-driven equivalence matrix: every kernel registered in the
+//! [`KernelRegistry`] — not a hard-coded list — must produce the same
+//! acoustic plane-wave evolution to floating-point tolerance, both at the
+//! single-invocation level and through a full engine run. A newly
+//! registered variant is cross-checked here with zero test edits.
+
+use aderdg::core::kernels::{StpInputs, StpOutputs};
+use aderdg::core::{Engine, EngineConfig, KernelRegistry, StpConfig, StpPlan};
+use aderdg::mesh::StructuredMesh;
+use aderdg::pde::{Acoustic, AcousticPlaneWave, ExactSolution};
+
+fn plane_wave() -> AcousticPlaneWave {
+    AcousticPlaneWave {
+        direction: [1.0, 0.0, 0.0],
+        amplitude: 1.0,
+        wavenumber: 1.0,
+        rho: 1.0,
+        bulk: 1.0,
+    }
+}
+
+/// Full-engine matrix: each registered kernel drives the engine on the
+/// same acoustic plane wave; all end states must agree with the first
+/// kernel's and stay close to the exact solution.
+#[test]
+fn all_registered_kernels_agree_on_acoustic_plane_wave() {
+    let wave = plane_wave();
+    let kernels = KernelRegistry::global().kernels();
+    assert!(
+        kernels.len() >= 4,
+        "expected at least the four paper variants, got {:?}",
+        KernelRegistry::global().names()
+    );
+
+    let mut reference: Option<(String, Vec<Vec<f64>>)> = None;
+    for kernel in kernels {
+        let mesh = StructuredMesh::unit_cube(2);
+        let config = EngineConfig::new(4).with_kernel(kernel);
+        let mut engine = Engine::new(mesh, Acoustic, config);
+        engine.set_initial(|x, q| {
+            wave.evaluate(x, 0.0, q);
+            Acoustic::set_params(q, 1.0, 1.0);
+        });
+        engine.run_until(0.05);
+
+        let err = engine.l2_error(&wave);
+        assert!(err < 5e-2, "{}: acoustic error {err}", kernel.name());
+
+        let states: Vec<Vec<f64>> = (0..engine.mesh.num_cells())
+            .map(|c| engine.cell_state(c).to_vec())
+            .collect();
+        match &reference {
+            None => reference = Some((kernel.name().to_string(), states)),
+            Some((ref_name, ref_states)) => {
+                for (c, (a_cell, b_cell)) in states.iter().zip(ref_states).enumerate() {
+                    for (i, (a, b)) in a_cell.iter().zip(b_cell).enumerate() {
+                        assert!(
+                            (a - b).abs() < 1e-9 * (1.0 + b.abs()),
+                            "{} vs {ref_name}, cell {c} dof {i}: {a} vs {b}",
+                            kernel.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Single-invocation matrix on the same plane-wave state: predictor
+/// outputs (volume and face tensors) of every registered kernel must
+/// match the first registered kernel's.
+#[test]
+fn all_registered_kernels_agree_on_single_predictor_invocation() {
+    let wave = plane_wave();
+    let plan = StpPlan::new(StpConfig::new(5, Acoustic.num_quantities()), [0.5; 3]);
+    use aderdg::pde::LinearPde;
+
+    // Sample the plane wave onto one cell's padded AoS nodes.
+    let n = plan.n();
+    let m_pad = plan.aos.m_pad();
+    let nodes = plan.basis.nodes.clone();
+    let mut q0 = vec![0.0; plan.aos.len()];
+    for k3 in 0..n {
+        for k2 in 0..n {
+            for k1 in 0..n {
+                let x = [0.5 * nodes[k1], 0.5 * nodes[k2], 0.5 * nodes[k3]];
+                let node = (k3 * n + k2) * n + k1;
+                let q = &mut q0[node * m_pad..node * m_pad + plan.m()];
+                wave.evaluate(x, 0.0, q);
+                Acoustic::set_params(q, 1.0, 1.0);
+            }
+        }
+    }
+    let inputs = StpInputs {
+        q0: &q0,
+        dt: 1e-3,
+        source: None,
+    };
+
+    let mut reference: Option<(String, StpOutputs)> = None;
+    for kernel in KernelRegistry::global().kernels() {
+        let mut scratch = kernel.make_scratch(&plan);
+        let mut out = StpOutputs::new(&plan);
+        kernel.run(&plan, &Acoustic, scratch.as_mut(), &inputs, &mut out);
+        match &reference {
+            None => reference = Some((kernel.name().to_string(), out)),
+            Some((ref_name, r)) => {
+                for (i, (a, b)) in out.qavg.iter().zip(r.qavg.iter()).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-11 * (1.0 + b.abs()),
+                        "{} vs {ref_name} qavg[{i}]: {a} vs {b}",
+                        kernel.name()
+                    );
+                }
+                for f in 0..6 {
+                    for (a, b) in out.fface[f].iter().zip(r.fface[f].iter()) {
+                        assert!(
+                            (a - b).abs() < 1e-11 * (1.0 + b.abs()),
+                            "{} vs {ref_name} fface[{f}]",
+                            kernel.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
