@@ -1,0 +1,81 @@
+//! Step time vs predictor block size — the measurement behind the
+//! cell-block pipeline and the [`auto_block_size`] heuristic.
+//!
+//! For every registered kernel, drives a full acoustic engine across a
+//! sweep of block sizes and prints microseconds per cell per step; the
+//! block size the footprint heuristic would pick is marked `*`. Kernels
+//! with a real block implementation (generic, aosoa_splitck) amortize
+//! operator loads with growing blocks until the block working set
+//! outgrows L2; kernels on the per-cell fallback should be flat.
+//!
+//! Environment: `ADERDG_BLOCK_ORDER` (default 5) sets the scheme order,
+//! `ADERDG_BLOCK_CELLS` (default 6) the cells per mesh dimension,
+//! `ADERDG_THREADS` caps the cell-loop parallelism (1 recommended for
+//! clean per-cell timings).
+
+use aderdg_core::{auto_block_size, Engine, EngineConfig, KernelRegistry};
+use aderdg_mesh::StructuredMesh;
+use aderdg_pde::{Acoustic, AcousticPlaneWave, ExactSolution};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let order = env_usize("ADERDG_BLOCK_ORDER", 5);
+    let cells_per_dim = env_usize("ADERDG_BLOCK_CELLS", 6);
+    let steps = 3;
+    let block_sizes = [1usize, 2, 4, 8, 16];
+    let wave = AcousticPlaneWave {
+        direction: [1.0, 0.0, 0.0],
+        amplitude: 1.0,
+        wavenumber: 1.0,
+        rho: 1.0,
+        bulk: 1.0,
+    };
+
+    println!(
+        "=== Step time vs block size (acoustic, order {order}, {0}^3 cells) ===",
+        cells_per_dim
+    );
+    print!("{:>16}", "kernel");
+    for bs in block_sizes {
+        print!(" {bs:>9}");
+    }
+    println!("   (us/cell/step; * = heuristic pick)");
+
+    for kernel in KernelRegistry::global().kernels() {
+        print!("{:>16}", kernel.name());
+        let mut auto_pick = 0;
+        for (i, &bs) in block_sizes.iter().enumerate() {
+            let mesh = StructuredMesh::unit_cube(cells_per_dim);
+            let cells = mesh.num_cells();
+            let config = EngineConfig::new(order)
+                .with_kernel(kernel)
+                .with_block_size(bs);
+            let mut engine = Engine::new(mesh, Acoustic, config);
+            if i == 0 {
+                auto_pick = auto_block_size(kernel.footprint_bytes(&engine.plan));
+            }
+            engine.set_initial(|x, q| {
+                wave.evaluate(x, 0.0, q);
+                Acoustic::set_params(q, 1.0, 1.0);
+            });
+            let dt = engine.max_dt();
+            engine.step(dt); // warm-up: scratch allocation, page faults
+            let start = Instant::now();
+            for _ in 0..steps {
+                engine.step(dt);
+            }
+            let us_per_cell = start.elapsed().as_secs_f64() * 1e6 / (steps as f64 * cells as f64);
+            let mark = if bs == auto_pick { "*" } else { " " };
+            print!(" {us_per_cell:>8.2}{mark}");
+        }
+        println!("   auto={auto_pick}");
+    }
+}

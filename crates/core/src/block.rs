@@ -1,0 +1,203 @@
+//! Cell blocks — batched inputs of the Space-Time Predictor.
+//!
+//! The paper's kernels operate on one element at a time, so every GEMM
+//! reloads the same tiny operator matrices per cell. A [`CellBlock`]
+//! stacks the padded-AoS DOFs of up to `B` contiguous cells into one
+//! aligned buffer so a single operator load (and, through
+//! [`GemmBatch`](aderdg_gemm::GemmBatch), a single batched GEMM call)
+//! serves the whole block. [`BlockInputs`] bundles a staged block with
+//! the step length and the per-cell point sources — the block-level
+//! counterpart of [`StpInputs`].
+//!
+//! Blocks are *staging* buffers, reused across the engine's block loop:
+//! the engine keeps per-cell state (the corrector and the Riemann solve
+//! are neighbour-coupled and stay cell-granular), gathers each block
+//! before the predictor and scatters per-cell predictor outputs after.
+
+use crate::kernels::StpInputs;
+use crate::plan::{CellSource, StpPlan};
+use aderdg_tensor::AlignedVec;
+
+/// A reusable staging buffer stacking the padded-AoS DOFs of up to
+/// `capacity` cells contiguously (cell `i` occupies
+/// `[i * cell_len, (i + 1) * cell_len)`).
+#[derive(Debug, Clone)]
+pub struct CellBlock {
+    data: AlignedVec,
+    cell_len: usize,
+    capacity: usize,
+    len: usize,
+}
+
+impl CellBlock {
+    /// Allocates a zeroed block for up to `capacity` cells of `plan`'s
+    /// padded AoS layout.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(plan: &StpPlan, capacity: usize) -> Self {
+        assert!(capacity > 0, "CellBlock capacity must be at least 1");
+        let cell_len = plan.aos.len();
+        Self {
+            data: AlignedVec::zeroed(capacity * cell_len),
+            cell_len,
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Removes all staged cells (the buffer contents are left as-is; the
+    /// next [`push`](CellBlock::push) overwrites them).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Stages one cell's padded-AoS DOFs at the next block slot.
+    ///
+    /// # Panics
+    /// If the block is full or `q0` does not match the plan's AoS length.
+    pub fn push(&mut self, q0: &[f64]) {
+        assert!(self.len < self.capacity, "CellBlock is full");
+        assert_eq!(q0.len(), self.cell_len, "cell DOF length mismatch");
+        let at = self.len * self.cell_len;
+        self.data[at..at + self.cell_len].copy_from_slice(q0);
+        self.len += 1;
+    }
+
+    /// Number of cells currently staged.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no cells are staged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of cells the block can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Doubles per staged cell (the plan's padded AoS length).
+    #[inline]
+    pub fn cell_len(&self) -> usize {
+        self.cell_len
+    }
+
+    /// The staged DOFs of cell `i` (block-local index).
+    #[inline]
+    pub fn cell(&self, i: usize) -> &[f64] {
+        assert!(i < self.len, "cell index {i} out of staged range");
+        &self.data[i * self.cell_len..(i + 1) * self.cell_len]
+    }
+
+    /// The contiguous stacked view over all staged cells
+    /// (`len() * cell_len()` doubles).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data[..self.len * self.cell_len]
+    }
+}
+
+/// Inputs of one block-level predictor invocation: a staged block, the
+/// step length, and one optional point source per staged cell.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockInputs<'a> {
+    /// The staged cell block.
+    pub block: &'a CellBlock,
+    /// Time-step length (shared by all cells of the block).
+    pub dt: f64,
+    /// Per-cell point sources, indexed like the block's cells.
+    pub sources: &'a [Option<&'a CellSource>],
+}
+
+impl<'a> BlockInputs<'a> {
+    /// Bundles a staged block with its sources.
+    ///
+    /// # Panics
+    /// If `sources` does not have exactly one entry per staged cell.
+    pub fn new(block: &'a CellBlock, dt: f64, sources: &'a [Option<&'a CellSource>]) -> Self {
+        assert_eq!(
+            sources.len(),
+            block.len(),
+            "need one source slot per staged cell"
+        );
+        Self { block, dt, sources }
+    }
+
+    /// Number of cells in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.block.len()
+    }
+
+    /// True when the block holds no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.block.is_empty()
+    }
+
+    /// The per-cell inputs of block-local cell `i` — what the default
+    /// per-cell fallback of
+    /// [`StpKernel::run_block`](crate::kernels::StpKernel::run_block)
+    /// feeds to [`StpKernel::run`](crate::kernels::StpKernel::run).
+    #[inline]
+    pub fn cell_inputs(&self, i: usize) -> StpInputs<'a> {
+        StpInputs {
+            q0: self.block.cell(i),
+            dt: self.dt,
+            source: self.sources[i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::StpConfig;
+
+    #[test]
+    fn staging_round_trips_cells() {
+        let plan = StpPlan::new(StpConfig::new(3, 2), [1.0; 3]);
+        let mut block = CellBlock::new(&plan, 3);
+        assert!(block.is_empty());
+        let cells: Vec<Vec<f64>> = (0..3)
+            .map(|c| (0..plan.aos.len()).map(|i| (c * 1000 + i) as f64).collect())
+            .collect();
+        for cell in &cells {
+            block.push(cell);
+        }
+        assert_eq!(block.len(), 3);
+        for (c, cell) in cells.iter().enumerate() {
+            assert_eq!(block.cell(c), &cell[..]);
+        }
+        assert_eq!(block.as_slice().len(), 3 * plan.aos.len());
+        block.clear();
+        assert!(block.is_empty());
+        block.push(&cells[2]);
+        assert_eq!(block.cell(0), &cells[2][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "CellBlock is full")]
+    fn push_beyond_capacity_panics() {
+        let plan = StpPlan::new(StpConfig::new(3, 2), [1.0; 3]);
+        let mut block = CellBlock::new(&plan, 1);
+        let q = vec![0.0; plan.aos.len()];
+        block.push(&q);
+        block.push(&q);
+    }
+
+    #[test]
+    #[should_panic(expected = "one source slot per staged cell")]
+    fn inputs_reject_source_length_mismatch() {
+        let plan = StpPlan::new(StpConfig::new(3, 2), [1.0; 3]);
+        let mut block = CellBlock::new(&plan, 2);
+        block.push(&vec![0.0; plan.aos.len()]);
+        let _ = BlockInputs::new(&block, 0.1, &[]);
+    }
+}

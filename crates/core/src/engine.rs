@@ -2,8 +2,9 @@
 //! solve and corrector, with a rayon-parallel cell loop (the Rust
 //! counterpart of the paper's TBB task parallelism within one MPI rank).
 
+use crate::block::{BlockInputs, CellBlock};
 use crate::corrector::{apply_face, apply_volume, CorrectorScratch};
-use crate::kernels::{StpInputs, StpKernel, StpOutputs};
+use crate::kernels::{StpKernel, StpOutputs};
 use crate::par;
 use crate::plan::{CellSource, KernelVariant, StpConfig, StpPlan};
 use crate::registry::KernelRegistry;
@@ -14,6 +15,37 @@ use aderdg_tensor::AlignedVec;
 use std::collections::HashMap;
 
 /// Engine-level configuration.
+///
+/// Every knob has a sensible default from [`EngineConfig::new`]; the
+/// builder methods override them individually. When to change what:
+///
+/// * **`order`** — accuracy vs cost. Each increment multiplies the
+///   per-cell work roughly by `(N+1)⁴/N⁴` but raises the convergence
+///   rate; the paper evaluates orders 2–12. Raise it (and coarsen the
+///   mesh) for smooth solutions; lower it for discontinuous data.
+/// * **`kernel`** — which Space-Time Predictor variant runs; resolved
+///   from the [`KernelRegistry`]. `splitck` (the default) is the best
+///   all-round cache-aware variant; `aosoa_splitck` wins once the
+///   vectorized user functions dominate (high order, many quantities);
+///   `generic` is the readable reference, useful for debugging.
+/// * **`cfl`** — time-step safety factor (≤ 0.45 empirically for the
+///   3-D scheme). Lower it only if a run blows up (strongly varying
+///   material parameters); raising it risks instability.
+/// * **`width`** — SIMD padding/dispatch width. Leave at `None` (host
+///   width) except to reproduce the paper's narrower-build comparisons
+///   (e.g. AVX2 padding on an AVX-512 machine, Fig. 4).
+/// * **`rule`** — quadrature rule. Gauss-Legendre (default) is the
+///   paper's choice; Gauss-Lobatto includes the element boundary in the
+///   node set, trading a slightly worse conditioning for cheaper face
+///   coupling in schemes that exploit it.
+/// * **`block_size`** — cells per predictor block. `None` (default)
+///   sizes blocks from the kernel's scratch footprint via
+///   [`auto_block_size`] so the block working set stays cache-resident:
+///   big blocks amortize operator loads (the win of the batched
+///   pipeline), but a block that outgrows L2 pays more in re-fetched
+///   state than it saves. Set it explicitly to `1` to force the
+///   per-cell path or when benchmarking the sweet spot with the
+///   `block_sweep` bench binary.
 #[derive(Clone, Copy)]
 pub struct EngineConfig {
     /// STP kernel to run, resolved from the [`KernelRegistry`].
@@ -26,6 +58,9 @@ pub struct EngineConfig {
     pub width: Option<aderdg_tensor::SimdWidth>,
     /// Quadrature/interpolation rule.
     pub rule: aderdg_quadrature::QuadratureRule,
+    /// Cells per predictor block (`None` = heuristic from the kernel's
+    /// scratch footprint, see [`auto_block_size`]).
+    pub block_size: Option<usize>,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -36,6 +71,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("cfl", &self.cfl)
             .field("width", &self.width)
             .field("rule", &self.rule)
+            .field("block_size", &self.block_size)
             .finish()
     }
 }
@@ -55,6 +91,7 @@ impl EngineConfig {
             cfl: 0.4,
             width: None,
             rule: aderdg_quadrature::QuadratureRule::GaussLegendre,
+            block_size: None,
         }
     }
 
@@ -93,6 +130,37 @@ impl EngineConfig {
         self.width = Some(width);
         self
     }
+
+    /// Fixes the predictor block size (builder style); `1` forces the
+    /// per-cell path.
+    ///
+    /// # Panics
+    /// If `block_size` is zero.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        assert!(block_size >= 1, "block size must be at least 1");
+        self.block_size = Some(block_size);
+        self
+    }
+}
+
+/// Cache budget the block-size heuristic targets: half of a typical
+/// 1 MiB per-core L2, leaving the other half for the cell states and
+/// predictor outputs streaming through the block.
+const BLOCK_L2_BUDGET_BYTES: usize = 512 * 1024;
+
+/// Largest block the heuristic picks: past this, the amortization of the
+/// operator loads has long saturated and bigger blocks only reduce the
+/// parallel grain count.
+const BLOCK_SIZE_CAP: usize = 16;
+
+/// Picks a predictor block size from a kernel's per-cell scratch
+/// footprint ([`StpKernel::footprint_bytes`]): the largest `B ≤ 16` whose
+/// block working set `B · footprint` fits a 512 KiB L2 budget, and at
+/// least `1`. Low-footprint kernels (SplitCK at moderate order) get wide
+/// blocks; the generic kernel's `O(N⁴m)` temporaries quickly force
+/// `B = 1`.
+pub fn auto_block_size(footprint_bytes: usize) -> usize {
+    (BLOCK_L2_BUDGET_BYTES / footprint_bytes.max(1)).clamp(1, BLOCK_SIZE_CAP)
 }
 
 /// A point probe recording the evolved quantities over time.
@@ -125,6 +193,8 @@ pub struct Engine<P: LinearPde> {
     sources: Vec<(usize, Vec<f64>, PointSource)>,
     /// Registered receiver probes.
     pub receivers: Vec<Receiver>,
+    /// Resolved predictor block size (config override or heuristic).
+    block_size: usize,
     /// Simulated time.
     pub time: f64,
     /// Steps taken.
@@ -146,6 +216,10 @@ impl<P: LinearPde> Engine<P> {
             .map(|_| AlignedVec::zeroed(plan.aos.len()))
             .collect();
         let outputs = (0..cells).map(|_| StpOutputs::new(&plan)).collect();
+        let block_size = config
+            .block_size
+            .unwrap_or_else(|| auto_block_size(config.kernel.footprint_bytes(&plan)));
+        assert!(block_size >= 1, "block size must be at least 1");
         Self {
             mesh,
             pde,
@@ -155,9 +229,17 @@ impl<P: LinearPde> Engine<P> {
             outputs,
             sources: Vec::new(),
             receivers: Vec::new(),
+            block_size,
             time: 0.0,
             steps: 0,
         }
+    }
+
+    /// The resolved predictor block size this engine steps with (the
+    /// config's override, or [`auto_block_size`] of the kernel's scratch
+    /// footprint).
+    pub fn block_size(&self) -> usize {
+        self.block_size
     }
 
     /// Initializes every node from a closure over physical coordinates.
@@ -271,23 +353,38 @@ impl<P: LinearPde> Engine<P> {
             })
             .collect();
 
-        // 1. Predictor on every cell (element-local, embarrassingly
-        //    parallel — the paper's dominant kernel).
+        // 1. Predictor over cell blocks (element-local, embarrassingly
+        //    parallel — the paper's dominant kernel). Contiguous cells
+        //    are staged into a per-thread CellBlock and fed through the
+        //    kernel's block entry point, so one operator load serves the
+        //    whole block; kernels without a real block implementation
+        //    fall back to their per-cell path inside `run_block`.
         let state = &self.state;
+        let bsize = self.block_size;
+        let mut blocks: Vec<&mut [StpOutputs]> = self.outputs.chunks_mut(bsize).collect();
         par::for_each_mut_init(
-            &mut self.outputs,
-            || kernel.make_scratch(plan),
-            |scratch, c, out| {
-                kernel.run(
+            &mut blocks,
+            || {
+                (
+                    kernel.make_block_scratch(plan, bsize),
+                    CellBlock::new(plan, bsize),
+                    Vec::with_capacity(bsize),
+                )
+            },
+            |(scratch, block, sources), bi, outs| {
+                let base = bi * bsize;
+                block.clear();
+                for i in 0..outs.len() {
+                    block.push(&state[base + i]);
+                }
+                sources.clear();
+                sources.extend((0..outs.len()).map(|i| cell_sources.get(&(base + i))));
+                kernel.run_block(
                     plan,
                     pde,
                     scratch.as_mut(),
-                    &StpInputs {
-                        q0: &state[c],
-                        dt,
-                        source: cell_sources.get(&c),
-                    },
-                    out,
+                    &BlockInputs::new(block, dt, sources),
+                    outs,
                 );
             },
         );
@@ -513,5 +610,35 @@ impl<P: LinearPde> Engine<P> {
     /// Mutable access to a cell's state (tests, custom initial data).
     pub fn cell_state_mut(&mut self, cell: usize) -> &mut [f64] {
         &mut self.state[cell]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_block_size_scales_inversely_with_footprint() {
+        // Tiny footprint saturates at the cap; huge footprint degrades
+        // to the per-cell path; a 64 KiB footprint fits 8 blocks into
+        // the 512 KiB budget.
+        assert_eq!(auto_block_size(1), 16);
+        assert_eq!(auto_block_size(64 * 1024), 8);
+        assert_eq!(auto_block_size(10 << 20), 1);
+        assert_eq!(auto_block_size(0), 16);
+    }
+
+    #[test]
+    fn engine_resolves_block_size_from_config_or_heuristic() {
+        use aderdg_mesh::StructuredMesh;
+        use aderdg_pde::Acoustic;
+        let cfg = EngineConfig::new(3).with_block_size(5);
+        let engine = Engine::new(StructuredMesh::unit_cube(2), Acoustic, cfg);
+        assert_eq!(engine.block_size(), 5);
+
+        let cfg = EngineConfig::new(3);
+        let engine = Engine::new(StructuredMesh::unit_cube(2), Acoustic, cfg);
+        let expected = auto_block_size(cfg.kernel.footprint_bytes(&engine.plan));
+        assert_eq!(engine.block_size(), expected);
     }
 }

@@ -16,6 +16,7 @@
 
 use super::{project_faces, StpInputs, StpOutputs};
 use crate::plan::StpPlan;
+use aderdg_gemm::GemmBatch;
 use aderdg_pde::LinearPde;
 use aderdg_tensor::{aos_to_aosoa, aosoa_to_aos, AlignedVec};
 
@@ -54,10 +55,17 @@ impl AosoaScratch {
     }
 }
 
-/// Derivative along `d` of an AoSoA tensor via the plan's hybrid GEMMs.
+/// Derivative along `d` of `cells` stacked AoSoA tensors (cell `c` at
+/// offset `c · plan.aosoa.len()`) via **one** batched GEMM call: the
+/// per-cell slice batches of the hybrid layout extend contiguously
+/// across stacked cells, so the whole block becomes a single uniformly
+/// strided batch sharing the operator operand. For `d = 0` the batch is
+/// row-stacked with a shared `Dᵀ` and collapses into one tall GEMM
+/// ([`aderdg_gemm::GemmBatch::fuse_rows`]).
 pub(crate) fn derive_gemm_aosoa(
     plan: &StpPlan,
     d: usize,
+    cells: usize,
     src: &[f64],
     dst: &mut [f64],
     accumulate: bool,
@@ -67,32 +75,41 @@ pub(crate) fn derive_gemm_aosoa(
     } else {
         &plan.gemm_aosoa[d]
     };
-    let (batches, stride) = plan.aosoa_batches(d);
+    // Per-cell batches are contiguous (batches · stride = aosoa.len() for
+    // d < 2), so stacked cells extend the batch uniformly; the z sweep is
+    // one GEMM per cell at the cell stride.
+    let (count, stride) = match d {
+        2 => (cells, plan.aosoa.len()),
+        _ => {
+            let (batches, stride) = plan.aosoa_batches(d);
+            (cells * batches, stride)
+        }
+    };
     if d == 0 {
-        // Transposed form: C(block) = A(block) · Dᵀ_padded.
-        for b in 0..batches {
-            gemm.execute_offset(src, b * stride, &plan.diff_t_padded, 0, dst, b * stride);
-        }
+        // Transposed form: C(block) = A(block) · Dᵀ_padded, Dᵀ shared.
+        let batch = GemmBatch::shared_b(count, stride, stride);
+        gemm.execute_batched(&batch, src, &plan.diff_t_padded, dst);
     } else {
-        // Fused-dimension form: C(block) = D · B(block).
-        let diff = &plan.basis.diff;
-        for b in 0..batches {
-            gemm.execute_offset(diff, 0, src, b * stride, dst, b * stride);
-        }
+        // Fused-dimension form: C(block) = D · B(block), D shared.
+        let batch = GemmBatch::shared_a(count, stride, stride);
+        gemm.execute_batched(&batch, &plan.basis.diff, src, dst);
     }
 }
 
-/// Vectorized flux sweep: one user-function call per x-line (Sec. V-C).
+/// Vectorized flux sweep over `planes` x-lines: one user-function call
+/// per line (Sec. V-C). Stacked cells are swept by passing
+/// `cells · n²` planes.
 pub(crate) fn flux_vect_aosoa(
     plan: &StpPlan,
     pde: &dyn LinearPde,
     d: usize,
+    planes: usize,
     src: &[f64],
     dst: &mut [f64],
 ) {
     let n = plan.n();
     let block = plan.m() * plan.aosoa.n_pad();
-    for plane in 0..n * n {
+    for plane in 0..planes {
         let off = plane * block;
         pde.flux_vect(
             d,
@@ -132,10 +149,10 @@ pub fn stp_aosoa(
     for o in 0..n {
         scratch.ptemp.fill_zero();
         for d in 0..3 {
-            flux_vect_aosoa(plan, pde, d, &scratch.p, &mut scratch.flux);
-            derive_gemm_aosoa(plan, d, &scratch.flux, &mut scratch.ptemp, true);
+            flux_vect_aosoa(plan, pde, d, n * n, &scratch.p, &mut scratch.flux);
+            derive_gemm_aosoa(plan, d, 1, &scratch.flux, &mut scratch.ptemp, true);
             if has_ncp {
-                derive_gemm_aosoa(plan, d, &scratch.p, &mut scratch.grad_q, false);
+                derive_gemm_aosoa(plan, d, 1, &scratch.p, &mut scratch.grad_q, false);
                 // Vectorized ncp per x-line, accumulated into ptemp.
                 for plane in 0..n * n {
                     let off = plane * block;
@@ -202,12 +219,205 @@ pub fn stp_aosoa(
     out.qavg.fill_zero();
     aosoa_to_aos(&scratch.qavg_h, &plan.aosoa, &mut out.qavg, &plan.aos);
     for d in 0..3 {
-        flux_vect_aosoa(plan, pde, d, &scratch.qavg_h, &mut scratch.flux);
+        flux_vect_aosoa(plan, pde, d, n * n, &scratch.qavg_h, &mut scratch.flux);
         out.favg[d].fill_zero();
         aosoa_to_aos(&scratch.flux, &plan.aosoa, &mut out.favg[d], &plan.aos);
     }
 
     project_faces(plan, out);
+}
+
+/// Temporaries of the blocked AoSoA kernel: the SplitCK hybrid-layout
+/// working set stacked over the cells of a block (cell `c` occupies
+/// `[c · aosoa.len(), (c + 1) · aosoa.len())` of every buffer).
+#[derive(Debug, Clone)]
+pub struct AosoaBlockScratch {
+    /// Maximum cells per block.
+    capacity: usize,
+    /// Current Taylor term, stacked AoSoA.
+    p: AlignedVec,
+    /// Next Taylor term, stacked AoSoA.
+    ptemp: AlignedVec,
+    /// Flux tensor (reused across dimensions), stacked AoSoA.
+    flux: AlignedVec,
+    /// Gradient tensor (ncp only), stacked AoSoA.
+    grad_q: AlignedVec,
+    /// Time-averaged state, stacked AoSoA.
+    qavg_h: AlignedVec,
+}
+
+impl AosoaBlockScratch {
+    /// Allocates the stacked hybrid-layout working set for up to
+    /// `capacity` cells.
+    pub fn new(plan: &StpPlan, capacity: usize) -> Self {
+        assert!(capacity > 0, "block scratch needs capacity >= 1");
+        let vol = capacity * plan.aosoa.len();
+        Self {
+            capacity,
+            p: AlignedVec::zeroed(vol),
+            ptemp: AlignedVec::zeroed(vol),
+            flux: AlignedVec::zeroed(vol),
+            grad_q: AlignedVec::zeroed(vol),
+            qavg_h: AlignedVec::zeroed(vol),
+        }
+    }
+
+    /// Bytes of temporary storage.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.p.len() * 5) * 8
+    }
+}
+
+/// Runs the AoSoA SplitCK predictor over a staged cell block.
+///
+/// This is the genuinely batched path of the paper's narrative: the
+/// per-cell slice batches of the hybrid layout extend contiguously across
+/// the stacked cells, so every derivative sweep of the whole block is
+/// **one** batched GEMM call that loads the
+/// operator matrix once, and the vectorized user functions sweep
+/// `B · n²` x-lines back-to-back.
+pub fn stp_aosoa_block(
+    plan: &StpPlan,
+    pde: &dyn LinearPde,
+    scratch: &mut AosoaBlockScratch,
+    inputs: &crate::block::BlockInputs<'_>,
+    out: &mut [StpOutputs],
+) {
+    let cells = inputs.len();
+    assert_eq!(cells, out.len(), "one output per staged cell");
+    assert!(
+        cells <= scratch.capacity,
+        "block of {cells} cells exceeds scratch capacity {}",
+        scratch.capacity
+    );
+    let n = plan.n();
+    let m = plan.m();
+    let vars = pde.num_vars();
+    let n_pad = plan.aosoa.n_pad();
+    let block = m * n_pad;
+    let cl = plan.aosoa.len();
+    let len = cells * cl;
+    let planes = cells * n * n;
+    let has_ncp = pde.has_ncp();
+    let coef = plan.taylor(inputs.dt);
+
+    // Entry transposes AoS → AoSoA, cell by cell into the stacked buffer.
+    scratch.p[..len].fill(0.0);
+    for c in 0..cells {
+        aos_to_aosoa(
+            inputs.block.cell(c),
+            &plan.aos,
+            &mut scratch.p[c * cl..(c + 1) * cl],
+            &plan.aosoa,
+        );
+    }
+
+    for (qa, pv) in scratch.qavg_h[..len]
+        .iter_mut()
+        .zip(scratch.p[..len].iter())
+    {
+        *qa = coef[0] * pv;
+    }
+
+    for o in 0..n {
+        scratch.ptemp[..len].fill(0.0);
+        for d in 0..3 {
+            flux_vect_aosoa(plan, pde, d, planes, &scratch.p, &mut scratch.flux);
+            derive_gemm_aosoa(plan, d, cells, &scratch.flux, &mut scratch.ptemp, true);
+            if has_ncp {
+                derive_gemm_aosoa(plan, d, cells, &scratch.p, &mut scratch.grad_q, false);
+                // Vectorized ncp per x-line, accumulated into ptemp.
+                for plane in 0..planes {
+                    let off = plane * block;
+                    // Reuse flux as the ncp output buffer for this plane.
+                    let (qs, gs) = (
+                        &scratch.p[off..off + block],
+                        &scratch.grad_q[off..off + block],
+                    );
+                    pde.ncp_vect(d, qs, gs, &mut scratch.flux[off..off + block], n, n_pad);
+                    for (pv, nv) in scratch.ptemp[off..off + block]
+                        .iter_mut()
+                        .zip(&scratch.flux[off..off + block])
+                    {
+                        *pv += nv;
+                    }
+                }
+            }
+        }
+        for c in 0..cells {
+            if let Some(src) = inputs.sources[c] {
+                let amp = &src.derivs[o];
+                // node_coeffs are (k3, k2, k1)-ordered; address the
+                // AoSoA slot within cell c's stacked range.
+                for k3 in 0..n {
+                    for k2 in 0..n {
+                        for k1 in 0..n {
+                            let coeff = src.node_coeffs[(k3 * n + k2) * n + k1];
+                            let base = c * cl + (k3 * n + k2) * block + k1;
+                            for (s, &a) in amp.iter().enumerate() {
+                                scratch.ptemp[base + s * n_pad] += coeff * a;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Carry the material parameters along across the whole block.
+        {
+            let AosoaBlockScratch { p, ptemp, .. } = scratch;
+            for plane in 0..planes {
+                let off = plane * block + vars * n_pad;
+                let end = plane * block + m * n_pad;
+                ptemp[off..end].copy_from_slice(&p[off..end]);
+            }
+        }
+        std::mem::swap(&mut scratch.p, &mut scratch.ptemp);
+        let co = coef[o + 1];
+        for (qa, pv) in scratch.qavg_h[..len]
+            .iter_mut()
+            .zip(scratch.p[..len].iter())
+        {
+            *qa += co * pv;
+        }
+    }
+
+    // q̄ carries the original parameters (restore in hybrid layout; `p`
+    // still holds them after the last swap).
+    {
+        let AosoaBlockScratch { p, qavg_h, .. } = scratch;
+        for plane in 0..planes {
+            let off = plane * block + vars * n_pad;
+            let end = plane * block + m * n_pad;
+            qavg_h[off..end].copy_from_slice(&p[off..end]);
+        }
+    }
+
+    // Exit transposes: q̄ per cell, then the recomputed time-averaged
+    // fluxes (one block-wide vectorized sweep per dimension).
+    for (c, cell_out) in out.iter_mut().enumerate() {
+        cell_out.qavg.fill_zero();
+        aosoa_to_aos(
+            &scratch.qavg_h[c * cl..(c + 1) * cl],
+            &plan.aosoa,
+            &mut cell_out.qavg,
+            &plan.aos,
+        );
+    }
+    for d in 0..3 {
+        flux_vect_aosoa(plan, pde, d, planes, &scratch.qavg_h, &mut scratch.flux);
+        for (c, cell_out) in out.iter_mut().enumerate() {
+            cell_out.favg[d].fill_zero();
+            aosoa_to_aos(
+                &scratch.flux[c * cl..(c + 1) * cl],
+                &plan.aosoa,
+                &mut cell_out.favg[d],
+                &plan.aos,
+            );
+        }
+    }
+    for cell_out in out.iter_mut() {
+        project_faces(plan, cell_out);
+    }
 }
 
 #[cfg(test)]
@@ -359,6 +569,7 @@ mod tests {
 use super::{downcast_scratch, impl_stp_scratch, StpKernel, StpScratch};
 
 impl_stp_scratch!(AosoaScratch);
+impl_stp_scratch!(AosoaBlockScratch);
 
 /// Registry entry for the AoSoA SplitCK variant with vectorized user
 /// functions (Sec. V).
@@ -387,5 +598,20 @@ impl StpKernel for AosoaKernel {
         out: &mut StpOutputs,
     ) {
         stp_aosoa(plan, pde, downcast_scratch(scratch), inputs, out);
+    }
+
+    fn make_block_scratch(&self, plan: &StpPlan, capacity: usize) -> Box<dyn StpScratch> {
+        Box::new(AosoaBlockScratch::new(plan, capacity))
+    }
+
+    fn run_block(
+        &self,
+        plan: &StpPlan,
+        pde: &dyn LinearPde,
+        scratch: &mut dyn StpScratch,
+        inputs: &crate::block::BlockInputs<'_>,
+        out: &mut [StpOutputs],
+    ) {
+        stp_aosoa_block(plan, pde, downcast_scratch(scratch), inputs, out);
     }
 }

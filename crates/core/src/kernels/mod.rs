@@ -27,6 +27,7 @@ pub mod log;
 pub mod onthefly;
 pub mod splitck;
 
+use crate::block::BlockInputs;
 use crate::faceproj;
 use crate::plan::{CellSource, StpPlan};
 use aderdg_pde::LinearPde;
@@ -144,6 +145,41 @@ pub trait StpKernel: Send + Sync {
         inputs: &StpInputs<'_>,
         out: &mut StpOutputs,
     );
+
+    /// Allocates scratch for block invocations of up to `capacity` cells
+    /// ([`run_block`](StpKernel::run_block)).
+    ///
+    /// The default returns per-cell scratch, matching the default
+    /// `run_block` fallback; kernels with a real block implementation
+    /// override both together.
+    fn make_block_scratch(&self, plan: &StpPlan, capacity: usize) -> Box<dyn StpScratch> {
+        let _ = capacity;
+        self.make_scratch(plan)
+    }
+
+    /// Runs the predictor over a staged cell block, writing one
+    /// [`StpOutputs`] per staged cell. `scratch` must come from this
+    /// kernel's [`make_block_scratch`](StpKernel::make_block_scratch)
+    /// with a capacity of at least `inputs.len()`.
+    ///
+    /// The default loops [`run`](StpKernel::run) over the block's cells,
+    /// so every kernel works under the engine's block pipeline; variants
+    /// opt into genuine batching (amortized operator loads, batched
+    /// GEMMs) by overriding this method — see [`generic`] and
+    /// [`aosoa`].
+    fn run_block(
+        &self,
+        plan: &StpPlan,
+        pde: &dyn LinearPde,
+        scratch: &mut dyn StpScratch,
+        inputs: &BlockInputs<'_>,
+        out: &mut [StpOutputs],
+    ) {
+        assert_eq!(inputs.len(), out.len(), "one output per staged cell");
+        for (i, cell_out) in out.iter_mut().enumerate() {
+            self.run(plan, pde, scratch, &inputs.cell_inputs(i), cell_out);
+        }
+    }
 
     /// Bytes of temporary storage this kernel would allocate under `plan`.
     fn footprint_bytes(&self, plan: &StpPlan) -> usize {

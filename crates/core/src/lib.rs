@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod corrector;
 pub mod engine;
 pub mod faceproj;
@@ -22,7 +23,8 @@ pub mod riemann;
 pub mod spec;
 pub mod traces;
 
-pub use engine::{Engine, EngineConfig, Receiver};
+pub use block::{BlockInputs, CellBlock};
+pub use engine::{auto_block_size, Engine, EngineConfig, Receiver};
 pub use kernels::{StpInputs, StpKernel, StpOutputs, StpScratch};
 pub use plan::{CellSource, KernelVariant, StpConfig, StpPlan};
 pub use registry::KernelRegistry;

@@ -7,8 +7,11 @@
 //! engine and [`SolverSpec`](crate::spec::SolverSpec) resolve them through
 //! [`KernelRegistry::global`], and the equivalence tests and figure
 //! harnesses enumerate whatever is registered. A new variant is one new
-//! module implementing [`StpKernel`] plus one [`register`] call — no
-//! enum, no match arms, no test edits.
+//! module implementing [`StpKernel`] plus one
+//! [`register`](KernelRegistry::register) call — no
+//! enum, no match arms, no test edits. Kernels opt into the engine's
+//! batched cell-block pipeline by overriding
+//! [`run_block`](crate::kernels::StpKernel::run_block).
 
 use crate::kernels::{aosoa, generic, log, onthefly, splitck, StpKernel};
 use std::sync::{OnceLock, RwLock};

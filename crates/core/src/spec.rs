@@ -9,11 +9,12 @@
 //!
 //! ```text
 //! # my_solver.spec
-//! order   = 6
-//! kernel  = aosoa_splitck
-//! width   = avx512
-//! rule    = gauss_legendre
-//! cfl     = 0.4
+//! order      = 6
+//! kernel     = aosoa_splitck
+//! width      = avx512
+//! rule       = gauss_legendre
+//! cfl        = 0.4
+//! block_size = auto
 //! ```
 
 use crate::engine::EngineConfig;
@@ -54,6 +55,9 @@ pub struct SolverSpec {
     pub rule: QuadratureRule,
     /// CFL factor (default 0.4).
     pub cfl: f64,
+    /// Predictor block size (`None` = footprint heuristic, spec value
+    /// `auto`).
+    pub block_size: Option<usize>,
 }
 
 impl std::fmt::Debug for SolverSpec {
@@ -64,6 +68,7 @@ impl std::fmt::Debug for SolverSpec {
             .field("width", &self.width)
             .field("rule", &self.rule)
             .field("cfl", &self.cfl)
+            .field("block_size", &self.block_size)
             .finish()
     }
 }
@@ -77,6 +82,7 @@ impl PartialEq for SolverSpec {
             && self.width == other.width
             && self.rule == other.rule
             && self.cfl == other.cfl
+            && self.block_size == other.block_size
     }
 }
 
@@ -90,6 +96,7 @@ impl Default for SolverSpec {
             width: SimdWidth::host(),
             rule: QuadratureRule::GaussLegendre,
             cfl: 0.4,
+            block_size: None,
         }
     }
 }
@@ -160,6 +167,15 @@ impl SolverSpec {
                         .parse()
                         .map_err(|_| err(format!("invalid cfl `{value}`")))?;
                 }
+                "block_size" => {
+                    spec.block_size =
+                        match value {
+                            "auto" => None,
+                            v => Some(v.parse::<usize>().ok().filter(|&b| b >= 1).ok_or_else(
+                                || err(format!("invalid block_size `{v}` (auto or integer >= 1)")),
+                            )?),
+                        };
+                }
                 other => {
                     return Err(err(format!("unknown key `{other}`")));
                 }
@@ -190,6 +206,7 @@ impl SolverSpec {
             .with_rule(self.rule)
             .with_width(self.width);
         cfg.cfl = self.cfl;
+        cfg.block_size = self.block_size;
         cfg
     }
 }
@@ -206,7 +223,8 @@ mod tests {
              kernel = aosoa_splitck  # the Sec. V variant\n\
              width  = avx512\n\
              rule   = gauss_lobatto\n\
-             cfl    = 0.3\n",
+             cfl    = 0.3\n\
+             block_size = 8\n",
         )
         .unwrap();
         assert_eq!(spec.order, 6);
@@ -214,7 +232,19 @@ mod tests {
         assert_eq!(spec.width, SimdWidth::W8);
         assert_eq!(spec.rule, QuadratureRule::GaussLobatto);
         assert_eq!(spec.cfl, 0.3);
+        assert_eq!(spec.block_size, Some(8));
         assert_eq!(spec.engine_config().order, 6);
+        assert_eq!(spec.engine_config().block_size, Some(8));
+    }
+
+    #[test]
+    fn block_size_auto_and_rejects_invalid() {
+        assert_eq!(
+            SolverSpec::parse("block_size = auto\n").unwrap().block_size,
+            None
+        );
+        assert!(SolverSpec::parse("block_size = 0\n").is_err());
+        assert!(SolverSpec::parse("block_size = wide\n").is_err());
     }
 
     #[test]

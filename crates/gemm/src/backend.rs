@@ -12,8 +12,8 @@
 //! Adding an architecture-specific micro-kernel is one new impl plus one
 //! entry in [`backends`] — no enum, no match.
 
-use crate::kernels::{gemm_autovec, Isa};
-use crate::spec::GemmSpec;
+use crate::kernels::{gemm_autovec, gemm_autovec_batched, Isa};
+use crate::spec::{GemmBatch, GemmSpec};
 
 /// One compiled GEMM implementation selectable at plan time.
 pub trait GemmBackend: Send + Sync + std::fmt::Debug {
@@ -28,6 +28,28 @@ pub trait GemmBackend: Send + Sync + std::fmt::Debug {
 
     /// Runs `C ← α·A·B + β·C` per `spec`.
     fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]);
+
+    /// Runs `spec` over a strided batch of operand triples (operand `i`
+    /// starts at `i * batch.stride_{a,b,c}`; a stride of `0` shares the
+    /// operand across the batch).
+    ///
+    /// The default is a correct strided loop over
+    /// [`execute`](GemmBackend::execute), so every backend supports
+    /// batching out of the box. The built-in backends override it with a blocked
+    /// implementation that hoists the bounds checks out of the loop and
+    /// collapses row-stacked shared-`B` batches into one tall GEMM
+    /// ([`GemmBatch::fuse_rows`]) — the cell-block execution path where
+    /// one operator load serves a whole block of cells.
+    fn run_batched(&self, spec: &GemmSpec, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+        for i in 0..batch.count {
+            self.execute(
+                spec,
+                &a[i * batch.stride_a..],
+                &b[i * batch.stride_b..],
+                &mut c[i * batch.stride_c..],
+            );
+        }
+    }
 }
 
 /// Baseline build: whatever the compile target allows (always supported).
@@ -49,6 +71,10 @@ impl GemmBackend for BaselineBackend {
 
     fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
         gemm_autovec(spec, a, b, c);
+    }
+
+    fn run_batched(&self, spec: &GemmSpec, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+        gemm_autovec_batched(spec, batch, a, b, c);
     }
 }
 
@@ -75,6 +101,11 @@ impl GemmBackend for Avx2Backend {
         // SAFETY: `supported` gated the selection of this backend.
         unsafe { crate::kernels::gemm_avx2(spec, a, b, c) }
     }
+
+    fn run_batched(&self, spec: &GemmSpec, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+        // SAFETY: `supported` gated the selection of this backend.
+        unsafe { crate::kernels::gemm_avx2_batched(spec, batch, a, b, c) }
+    }
 }
 
 /// AVX-512 build (paper's "Skylake" configuration).
@@ -100,6 +131,11 @@ impl GemmBackend for Avx512Backend {
     fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
         // SAFETY: `supported` gated the selection of this backend.
         unsafe { crate::kernels::gemm_avx512(spec, a, b, c) }
+    }
+
+    fn run_batched(&self, spec: &GemmSpec, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+        // SAFETY: `supported` gated the selection of this backend.
+        unsafe { crate::kernels::gemm_avx512_batched(spec, batch, a, b, c) }
     }
 }
 

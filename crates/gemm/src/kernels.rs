@@ -10,7 +10,7 @@
 //! selected once at plan time via runtime feature detection — the same
 //! role LIBXSMM's runtime code generation plays for the paper.
 
-use crate::spec::GemmSpec;
+use crate::spec::{GemmBatch, GemmSpec};
 
 /// Register micro-tile height (rows of C held in accumulators).
 const MR: usize = 4;
@@ -205,6 +205,73 @@ pub unsafe fn gemm_avx512(spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) 
     gemm_body_dispatch(spec, a, b, c);
 }
 
+/// The shared batched body: one spec, `batch.count` strided operand
+/// triples. Row-stacked shared-`B` batches collapse into a single tall
+/// multiplication ([`GemmBatch::fuse_rows`]); everything else runs a
+/// strided loop over the pre-dispatched body with the bounds checks
+/// hoisted out of the loop.
+#[inline(always)]
+fn gemm_batched_body(spec: &GemmSpec, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+    if let Some(fused) = batch.fuse_rows(spec) {
+        gemm_body_dispatch(&fused, a, b, c);
+        return;
+    }
+    for i in 0..batch.count {
+        gemm_body_dispatch(
+            spec,
+            &a[i * batch.stride_a..],
+            &b[i * batch.stride_b..],
+            &mut c[i * batch.stride_c..],
+        );
+    }
+}
+
+/// Baseline build of the batched kernel (no extra target features).
+pub fn gemm_autovec_batched(
+    spec: &GemmSpec,
+    batch: &GemmBatch,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) {
+    batch.check(spec, a, b, c);
+    gemm_batched_body(spec, batch, a, b, c);
+}
+
+/// AVX2+FMA build of the batched kernel.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemm_avx2_batched(
+    spec: &GemmSpec,
+    batch: &GemmBatch,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) {
+    batch.check(spec, a, b, c);
+    gemm_batched_body(spec, batch, a, b, c);
+}
+
+/// AVX-512 build of the batched kernel.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX-512F/VL and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+pub unsafe fn gemm_avx512_batched(
+    spec: &GemmSpec,
+    batch: &GemmBatch,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) {
+    batch.check(spec, a, b, c);
+    gemm_batched_body(spec, batch, a, b, c);
+}
+
 /// Instruction-set level a plan may execute with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Isa {
@@ -325,6 +392,15 @@ impl Gemm {
         self.execute(&a[ao..], &b[bo..], &mut c[co..]);
     }
 
+    /// Runs the planned multiplication over a strided batch of operand
+    /// triples — the cell-block entry point. One call amortizes the
+    /// shared operand (batch stride `0`) across the whole batch instead
+    /// of reloading it per cell.
+    #[inline]
+    pub fn execute_batched(&self, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+        self.backend.run_batched(&self.spec, batch, a, b, c);
+    }
+
     /// Useful flops per execution.
     pub fn flops(&self) -> u64 {
         self.spec.flops()
@@ -441,6 +517,62 @@ mod tests {
         let host = Isa::detect();
         let plan = Gemm::with_isa(GemmSpec::dense(2, 2, 2), Isa::Avx512);
         assert!(plan.isa() <= host.min(Isa::Avx512).max(host));
+    }
+
+    /// Batched execution must equal the per-item loop for every stride
+    /// pattern (shared A, shared B, fully strided, fused rows).
+    #[test]
+    fn batched_matches_per_item_loop() {
+        let cases = [
+            // (m, n, k, batch, stride_a, stride_b, stride_c)
+            (5, 8, 5, 4, 0, 5 * 8, 5 * 8), // shared A (operator · panels)
+            (3, 8, 5, 6, 3 * 5, 0, 3 * 8), // shared B, row-stacked (fusable)
+            (4, 16, 4, 3, 4 * 4, 4 * 16, 4 * 16), // fully strided
+            (5, 17, 6, 2, 40, 110, 90),    // padded gaps between items
+            (2, 8, 2, 1, 0, 0, 16),        // single-item batch
+        ];
+        for (ci, &(m, n, k, count, sa, sb, sc)) in cases.iter().enumerate() {
+            let spec = GemmSpec::dense(m, n, k);
+            let batch = GemmBatch::new(count, sa, sb, sc);
+            let (ra, rb, rc) = batch.required_lens(&spec);
+            let a = rand_vec(ra.max(1), 900 + ci as u64);
+            let b = rand_vec(rb.max(1), 1900 + ci as u64);
+            let c0 = rand_vec(rc.max(1), 2900 + ci as u64);
+
+            let mut c_ref = c0.clone();
+            for i in 0..count {
+                gemm_naive(&spec, &a[i * sa..], &b[i * sb..], &mut c_ref[i * sc..]);
+            }
+
+            let mut c_auto = c0.clone();
+            gemm_autovec_batched(&spec, &batch, &a, &b, &mut c_auto);
+            assert_close(&c_auto, &c_ref, &spec);
+
+            let mut c_plan = c0.clone();
+            Gemm::new(spec).execute_batched(&batch, &a, &b, &mut c_plan);
+            assert_close(&c_plan, &c_ref, &spec);
+        }
+    }
+
+    #[test]
+    fn fuse_rows_detects_row_stacked_shared_b() {
+        let spec = GemmSpec::dense(3, 8, 5);
+        let fused = GemmBatch::shared_b(4, 3 * 5, 3 * 8)
+            .fuse_rows(&spec)
+            .unwrap();
+        assert_eq!(fused.m, 12);
+        assert_eq!((fused.n, fused.k), (8, 5));
+        // Shared-A and gapped batches must not fuse.
+        assert!(GemmBatch::shared_a(4, 40, 24).fuse_rows(&spec).is_none());
+        assert!(GemmBatch::shared_b(4, 16, 24).fuse_rows(&spec).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "batched C too short")]
+    fn batched_check_rejects_short_c() {
+        let spec = GemmSpec::dense(2, 2, 2);
+        let batch = GemmBatch::new(3, 0, 0, 4);
+        gemm_autovec_batched(&spec, &batch, &[0.0; 4], &[0.0; 4], &mut [0.0; 8]);
     }
 
     #[test]

@@ -17,5 +17,5 @@ pub mod kernels;
 pub mod spec;
 
 pub use backend::{backends, select_backend, GemmBackend};
-pub use kernels::{gemm_autovec, gemm_naive, Gemm, Isa};
-pub use spec::GemmSpec;
+pub use kernels::{gemm_autovec, gemm_autovec_batched, gemm_naive, Gemm, Isa};
+pub use spec::{GemmBatch, GemmSpec};

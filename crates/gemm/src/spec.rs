@@ -101,6 +101,101 @@ impl GemmSpec {
     }
 }
 
+/// Strided batch descriptor for
+/// [`run_batched`](crate::backend::GemmBackend::run_batched): `count`
+/// multiplications sharing one [`GemmSpec`], with operand `i` starting at
+/// `i * stride_{a,b,c}` of the respective buffer.
+///
+/// A stride of `0` means the operand is **shared** across the batch —
+/// the cell-block case of the paper's narrative, where one tiny operator
+/// matrix (the 1-D differentiation matrix `D`) serves the stacked DOFs
+/// of many cells and is loaded once instead of once per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmBatch {
+    /// Number of multiplications in the batch.
+    pub count: usize,
+    /// Doubles between consecutive `A` operands (`0` = shared `A`).
+    pub stride_a: usize,
+    /// Doubles between consecutive `B` operands (`0` = shared `B`).
+    pub stride_b: usize,
+    /// Doubles between consecutive `C` operands.
+    pub stride_c: usize,
+}
+
+impl GemmBatch {
+    /// General strided batch.
+    pub fn new(count: usize, stride_a: usize, stride_b: usize, stride_c: usize) -> Self {
+        Self {
+            count,
+            stride_a,
+            stride_b,
+            stride_c,
+        }
+    }
+
+    /// Batch sharing the `A` operand (e.g. `C_i ← D · B_i`: one operator,
+    /// many data panels).
+    pub fn shared_a(count: usize, stride_b: usize, stride_c: usize) -> Self {
+        Self::new(count, 0, stride_b, stride_c)
+    }
+
+    /// Batch sharing the `B` operand (e.g. `C_i ← A_i · Dᵀ`).
+    pub fn shared_b(count: usize, stride_a: usize, stride_c: usize) -> Self {
+        Self::new(count, stride_a, 0, stride_c)
+    }
+
+    /// Minimum buffer lengths `(a, b, c)` the whole batch addresses.
+    pub fn required_lens(&self, spec: &GemmSpec) -> (usize, usize, usize) {
+        let (ra, rb, rc) = spec.required_lens();
+        if self.count == 0 {
+            return (0, 0, 0);
+        }
+        let last = self.count - 1;
+        (
+            last * self.stride_a + ra,
+            last * self.stride_b + rb,
+            last * self.stride_c + rc,
+        )
+    }
+
+    /// Asserts that every batch item stays in bounds and that strided
+    /// `C` operands do not alias each other.
+    pub fn check(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &[f64]) {
+        assert!(
+            self.count <= 1 || self.stride_c >= spec.required_lens().2,
+            "C batch stride {} overlaps items (need >= {})",
+            self.stride_c,
+            spec.required_lens().2
+        );
+        let (ra, rb, rc) = self.required_lens(spec);
+        assert!(a.len() >= ra, "batched A too short: {} < {ra}", a.len());
+        assert!(b.len() >= rb, "batched B too short: {} < {rb}", b.len());
+        assert!(c.len() >= rc, "batched C too short: {} < {rc}", c.len());
+    }
+
+    /// If the batch is a row-stacked shared-`B` batch (each `A_i` / `C_i`
+    /// directly below its predecessor), the whole batch is equivalent to
+    /// **one** tall multiplication with `count·m` rows — the genuinely
+    /// blocked execution path: a single kernel invocation amortizes the
+    /// shared operand over the entire cell block and register tiles run
+    /// across cell boundaries.
+    pub fn fuse_rows(&self, spec: &GemmSpec) -> Option<GemmSpec> {
+        (self.count > 0
+            && self.stride_b == 0
+            && self.stride_a == spec.m * spec.lda
+            && self.stride_c == spec.m * spec.ldc)
+            .then(|| GemmSpec {
+                m: spec.m * self.count,
+                ..*spec
+            })
+    }
+
+    /// Useful flops of the whole batch.
+    pub fn flops(&self, spec: &GemmSpec) -> u64 {
+        self.count as u64 * spec.flops()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

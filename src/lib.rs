@@ -49,6 +49,13 @@
 //! }
 //! ```
 
+// The README's Rust snippets must keep compiling against the real API:
+// rustdoc collects them as doc-tests through this hidden item, so
+// `cargo test` fails the moment the quickstart drifts.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 pub use aderdg_core as core;
 pub use aderdg_gemm as gemm;
 pub use aderdg_mesh as mesh;

@@ -5,7 +5,9 @@
 //! registered variant is cross-checked here with zero test edits.
 
 use aderdg::core::kernels::{StpInputs, StpOutputs};
-use aderdg::core::{Engine, EngineConfig, KernelRegistry, StpConfig, StpPlan};
+use aderdg::core::{
+    BlockInputs, CellBlock, Engine, EngineConfig, KernelRegistry, StpConfig, StpPlan,
+};
 use aderdg::mesh::StructuredMesh;
 use aderdg::pde::{Acoustic, AcousticPlaneWave, ExactSolution};
 
@@ -60,6 +62,179 @@ fn all_registered_kernels_agree_on_acoustic_plane_wave() {
                             kernel.name()
                         );
                     }
+                }
+            }
+        }
+    }
+}
+
+/// Samples the plane wave onto one cell's padded AoS nodes, with a phase
+/// offset so distinct cells hold distinct states.
+fn plane_wave_state(plan: &StpPlan, phase: f64) -> Vec<f64> {
+    let wave = plane_wave();
+    let n = plan.n();
+    let m_pad = plan.aos.m_pad();
+    let nodes = &plan.basis.nodes;
+    let mut q0 = vec![0.0; plan.aos.len()];
+    for k3 in 0..n {
+        for k2 in 0..n {
+            for k1 in 0..n {
+                let x = [
+                    0.5 * nodes[k1] + phase,
+                    0.5 * nodes[k2] - 0.3 * phase,
+                    0.5 * nodes[k3],
+                ];
+                let node = (k3 * n + k2) * n + k1;
+                let q = &mut q0[node * m_pad..node * m_pad + plan.m()];
+                wave.evaluate(x, 0.0, q);
+                Acoustic::set_params(q, 1.0, 1.0);
+            }
+        }
+    }
+    q0
+}
+
+/// Block matrix: for every registered kernel and block sizes {1, 4, 7},
+/// `run_block` over a staged [`CellBlock`] must reproduce the per-cell
+/// `run` path cell by cell (≤ 1e-12 relative). This is the contract the
+/// engine's batched pipeline rests on, checked with zero test edits for
+/// future kernels.
+#[test]
+fn block_path_matches_per_cell_path_for_every_kernel() {
+    let plan = StpPlan::new(StpConfig::new(4, Acoustic.num_quantities()), [0.5; 3]);
+    use aderdg::pde::LinearPde;
+    let dt = 1e-3;
+    let tol = 1e-12;
+
+    // Cells 1 and 4 carry a point source, so the block paths' per-cell
+    // source injection (distinct slot arithmetic in the AoSoA layout) is
+    // exercised at interior block positions, not just source-free cells.
+    let cell_source = |c: usize| -> Option<aderdg::core::CellSource> {
+        (c % 3 == 1).then(|| {
+            let derivs: Vec<Vec<f64>> = (0..=plan.n())
+                .map(|o| {
+                    (0..Acoustic.num_quantities())
+                        .map(|s| 0.1 * (o as f64 + 1.0) - 0.03 * s as f64)
+                        .collect()
+                })
+                .collect();
+            aderdg::core::CellSource::project(&plan, [0.6, 0.25, 0.4], [0.5; 3], derivs)
+        })
+    };
+
+    for kernel in KernelRegistry::global().kernels() {
+        // Per-cell reference outputs for 7 distinct cell states.
+        let states: Vec<Vec<f64>> = (0..7)
+            .map(|c| plane_wave_state(&plan, 0.37 * c as f64))
+            .collect();
+        let cell_sources: Vec<Option<aderdg::core::CellSource>> =
+            (0..states.len()).map(cell_source).collect();
+        let mut scratch = kernel.make_scratch(&plan);
+        let reference: Vec<StpOutputs> = states
+            .iter()
+            .enumerate()
+            .map(|(c, q0)| {
+                let mut out = StpOutputs::new(&plan);
+                kernel.run(
+                    &plan,
+                    &Acoustic,
+                    scratch.as_mut(),
+                    &StpInputs {
+                        q0,
+                        dt,
+                        source: cell_sources[c].as_ref(),
+                    },
+                    &mut out,
+                );
+                out
+            })
+            .collect();
+
+        for &bs in &[1usize, 4, 7] {
+            let mut block_scratch = kernel.make_block_scratch(&plan, bs);
+            let mut block = CellBlock::new(&plan, bs);
+            // Walk the 7 cells in blocks of `bs` (the tail block is
+            // partial, exercising the short-block path).
+            let mut base = 0;
+            while base < states.len() {
+                let cells = bs.min(states.len() - base);
+                block.clear();
+                for q0 in &states[base..base + cells] {
+                    block.push(q0);
+                }
+                let sources: Vec<Option<&aderdg::core::CellSource>> = (base..base + cells)
+                    .map(|c| cell_sources[c].as_ref())
+                    .collect();
+                let mut outs: Vec<StpOutputs> =
+                    (0..cells).map(|_| StpOutputs::new(&plan)).collect();
+                kernel.run_block(
+                    &plan,
+                    &Acoustic,
+                    block_scratch.as_mut(),
+                    &BlockInputs::new(&block, dt, &sources),
+                    &mut outs,
+                );
+                for (c, out) in outs.iter().enumerate() {
+                    let want = &reference[base + c];
+                    let ctx =
+                        |what: &str| format!("{} bs={bs} cell={} {what}", kernel.name(), base + c);
+                    for (i, (a, b)) in out.qavg.iter().zip(want.qavg.iter()).enumerate() {
+                        assert!(
+                            (a - b).abs() <= tol * (1.0 + b.abs()),
+                            "{} [{i}]: {a} vs {b}",
+                            ctx("qavg")
+                        );
+                    }
+                    for d in 0..3 {
+                        for (a, b) in out.favg[d].iter().zip(want.favg[d].iter()) {
+                            assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{}", ctx("favg"));
+                        }
+                    }
+                    for f in 0..6 {
+                        for (a, b) in out.qface[f].iter().zip(want.qface[f].iter()) {
+                            assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{}", ctx("qface"));
+                        }
+                        for (a, b) in out.fface[f].iter().zip(want.fface[f].iter()) {
+                            assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{}", ctx("fface"));
+                        }
+                    }
+                }
+                base += cells;
+            }
+        }
+    }
+}
+
+/// Engine-level block invariance: full runs at block sizes {1, 4, 7} end
+/// in the same state (≤ 1e-12 relative) for every registered kernel.
+#[test]
+fn engine_states_invariant_under_block_size() {
+    let wave = plane_wave();
+    for kernel in KernelRegistry::global().kernels() {
+        let run = |block_size: usize| {
+            let mesh = StructuredMesh::unit_cube(2);
+            let config = EngineConfig::new(3)
+                .with_kernel(kernel)
+                .with_block_size(block_size);
+            let mut engine = Engine::new(mesh, Acoustic, config);
+            engine.set_initial(|x, q| {
+                wave.evaluate(x, 0.0, q);
+                Acoustic::set_params(q, 1.0, 1.0);
+            });
+            engine.run_until(0.04);
+            (0..engine.mesh.num_cells())
+                .map(|c| engine.cell_state(c).to_vec())
+                .collect::<Vec<_>>()
+        };
+        let reference = run(1);
+        for bs in [4, 7] {
+            for (c, (a_cell, b_cell)) in run(bs).iter().zip(&reference).enumerate() {
+                for (i, (a, b)) in a_cell.iter().zip(b_cell).enumerate() {
+                    assert!(
+                        (a - b).abs() <= 1e-12 * (1.0 + b.abs()),
+                        "{} bs={bs} cell {c} dof {i}: {a} vs {b}",
+                        kernel.name()
+                    );
                 }
             }
         }
