@@ -1,22 +1,32 @@
 //! Step time vs predictor block size — the measurement behind the
-//! cell-block pipeline and the [`auto_block_size`] heuristic.
+//! cell-block pipeline, and the validation harness of the plan-time
+//! tuner.
 //!
 //! For every registered kernel, drives a full acoustic engine across a
-//! sweep of block sizes and prints microseconds per cell per step; the
-//! block size the footprint heuristic would pick is marked `*`. Kernels
-//! with a real block implementation (generic, aosoa_splitck) amortize
-//! operator loads with growing blocks until the block working set
-//! outgrows L2; kernels on the per-cell fallback should be flat.
+//! sweep of block sizes (via [`aderdg_bench::block_sweep`]) and prints
+//! microseconds per cell per step, the static footprint-heuristic pick
+//! (`s`) and the model tuner's pick (`*`). Kernels with a real block
+//! implementation (generic, aosoa_splitck) amortize operator loads with
+//! growing blocks until the block working set outgrows L2; kernels on the
+//! per-cell fallback should be flat.
+//!
+//! **Compare mode** (`ADERDG_BLOCK_COMPARE=1`): additionally prints the
+//! tuner's predicted cycles per cell next to the measured times and
+//! checks, for each kernel with a block access model, that the
+//! model-chosen block size lands on the measured-optimal plateau (within
+//! 15 % of the fastest sweep point) — the acceptance gate of the
+//! model-driven tuner.
 //!
 //! Environment: `ADERDG_BLOCK_ORDER` (default 5) sets the scheme order,
 //! `ADERDG_BLOCK_CELLS` (default 6) the cells per mesh dimension,
 //! `ADERDG_THREADS` caps the cell-loop parallelism (1 recommended for
 //! clean per-cell timings).
 
-use aderdg_core::{auto_block_size, Engine, EngineConfig, KernelRegistry};
+use aderdg_bench::block_sweep::{plateau, sweep_kernel};
+use aderdg_core::tune::{best_predicted_block_size, model_block_candidates, BLOCK_CANDIDATES};
+use aderdg_core::{auto_block_size, Engine, EngineConfig, KernelRegistry, StpConfig, StpPlan};
 use aderdg_mesh::StructuredMesh;
-use aderdg_pde::{Acoustic, AcousticPlaneWave, ExactSolution};
-use std::time::Instant;
+use aderdg_pde::{Acoustic, LinearPde};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -29,53 +39,82 @@ fn env_usize(key: &str, default: usize) -> usize {
 fn main() {
     let order = env_usize("ADERDG_BLOCK_ORDER", 5);
     let cells_per_dim = env_usize("ADERDG_BLOCK_CELLS", 6);
+    let compare = std::env::var("ADERDG_BLOCK_COMPARE").is_ok_and(|v| v == "1");
     let steps = 3;
-    let block_sizes = [1usize, 2, 4, 8, 16];
-    let wave = AcousticPlaneWave {
-        direction: [1.0, 0.0, 0.0],
-        amplitude: 1.0,
-        wavenumber: 1.0,
-        rho: 1.0,
-        bulk: 1.0,
-    };
+    let block_sizes = BLOCK_CANDIDATES;
+    let m = Acoustic.num_quantities();
+    let plan = StpPlan::new(StpConfig::new(order, m), [1.0 / cells_per_dim as f64; 3]);
 
-    println!(
-        "=== Step time vs block size (acoustic, order {order}, {0}^3 cells) ===",
-        cells_per_dim
-    );
+    println!("=== Step time vs block size (acoustic, order {order}, {cells_per_dim}^3 cells) ===",);
     print!("{:>16}", "kernel");
     for bs in block_sizes {
         print!(" {bs:>9}");
     }
-    println!("   (us/cell/step; * = heuristic pick)");
+    println!("   (us/cell/step; s = static heuristic, * = model tuner)");
 
+    let mut all_on_plateau = true;
     for kernel in KernelRegistry::global().kernels() {
+        let static_pick = auto_block_size(kernel.footprint_bytes(&plan));
+        let candidates = model_block_candidates(&plan, kernel.name(), Acoustic.has_ncp());
+        let model_pick = candidates
+            .as_ref()
+            .map(|cands| best_predicted_block_size(cands));
+
+        let points = sweep_kernel(kernel, order, cells_per_dim, &block_sizes, steps);
         print!("{:>16}", kernel.name());
-        let mut auto_pick = 0;
-        for (i, &bs) in block_sizes.iter().enumerate() {
-            let mesh = StructuredMesh::unit_cube(cells_per_dim);
-            let cells = mesh.num_cells();
-            let config = EngineConfig::new(order)
-                .with_kernel(kernel)
-                .with_block_size(bs);
-            let mut engine = Engine::new(mesh, Acoustic, config);
-            if i == 0 {
-                auto_pick = auto_block_size(kernel.footprint_bytes(&engine.plan));
-            }
-            engine.set_initial(|x, q| {
-                wave.evaluate(x, 0.0, q);
-                Acoustic::set_params(q, 1.0, 1.0);
-            });
-            let dt = engine.max_dt();
-            engine.step(dt); // warm-up: scratch allocation, page faults
-            let start = Instant::now();
-            for _ in 0..steps {
-                engine.step(dt);
-            }
-            let us_per_cell = start.elapsed().as_secs_f64() * 1e6 / (steps as f64 * cells as f64);
-            let mark = if bs == auto_pick { "*" } else { " " };
-            print!(" {us_per_cell:>8.2}{mark}");
+        for p in &points {
+            let mark = match (
+                p.block_size == static_pick,
+                Some(p.block_size) == model_pick,
+            ) {
+                (_, true) => "*",
+                (true, false) => "s",
+                _ => " ",
+            };
+            print!(" {:>8.2}{mark}", p.us_per_cell);
         }
-        println!("   auto={auto_pick}");
+        match model_pick {
+            Some(b) => println!("   static={static_pick} model={b}"),
+            None => println!("   static={static_pick} model=- (per-cell fallback)"),
+        }
+
+        if compare {
+            if let Some(cands) = &candidates {
+                print!("{:>16}", "pred cyc/cell");
+                for c in cands {
+                    print!(" {:>9.0}", c.predicted_cycles_per_cell);
+                }
+                println!();
+                let flat = plateau(&points, 1.15);
+                let pick = model_pick.expect("candidates imply a pick");
+                let ok = flat.contains(&pick);
+                all_on_plateau &= ok;
+                println!(
+                    "{:>16} measured plateau (<=15%): {:?} -> model pick {} {}",
+                    "",
+                    flat,
+                    pick,
+                    if ok { "ON PLATEAU" } else { "OFF PLATEAU" }
+                );
+            }
+        }
+    }
+
+    if compare {
+        // One default-config engine per blocked kernel prints the full
+        // tuner report the engine actually acts on.
+        for name in ["generic", "aosoa_splitck"] {
+            let kernel = KernelRegistry::global().resolve(name).expect("builtin");
+            let config = EngineConfig::new(order).with_kernel(kernel);
+            let engine = Engine::new(StructuredMesh::unit_cube(2), Acoustic, config);
+            print!("{}", engine.tune_report());
+        }
+        println!(
+            "\ncompare verdict: model picks {} the measured plateau",
+            if all_on_plateau { "ON" } else { "OFF" }
+        );
+        if !all_on_plateau {
+            std::process::exit(1);
+        }
     }
 }

@@ -226,6 +226,91 @@ mod tests {
     }
 }
 
+/// Engine-level block-size sweep machinery, shared by the `block_sweep`
+/// binary and the tuner-validation compare mode.
+pub mod block_sweep {
+    use aderdg_core::kernels::StpKernel;
+    use aderdg_core::{Engine, EngineConfig, TuningMode};
+    use aderdg_mesh::StructuredMesh;
+    use aderdg_pde::{Acoustic, AcousticPlaneWave, ExactSolution};
+    use std::time::Instant;
+
+    /// One measured sweep point.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SweepPoint {
+        /// Cells per predictor block.
+        pub block_size: usize,
+        /// Measured microseconds per cell per step (median-free single
+        /// timing over `steps` steps, after one warm-up step).
+        pub us_per_cell: f64,
+    }
+
+    /// Drives a full acoustic engine at `order` on a
+    /// `cells_per_dim³` mesh once per entry of `block_sizes` and returns
+    /// the measured step cost. Block sizes are explicit overrides, so no
+    /// tuner runs inside the sweep — this is the ground truth the tuner
+    /// is validated against.
+    pub fn sweep_kernel(
+        kernel: &'static dyn StpKernel,
+        order: usize,
+        cells_per_dim: usize,
+        block_sizes: &[usize],
+        steps: usize,
+    ) -> Vec<SweepPoint> {
+        let wave = AcousticPlaneWave {
+            direction: [1.0, 0.0, 0.0],
+            amplitude: 1.0,
+            wavenumber: 1.0,
+            rho: 1.0,
+            bulk: 1.0,
+        };
+        block_sizes
+            .iter()
+            .map(|&bs| {
+                let mesh = StructuredMesh::unit_cube(cells_per_dim);
+                let cells = mesh.num_cells();
+                let config = EngineConfig::new(order)
+                    .with_kernel(kernel)
+                    .with_tuning(TuningMode::Static)
+                    .with_block_size(bs);
+                let mut engine = Engine::new(mesh, Acoustic, config);
+                engine.set_initial(|x, q| {
+                    wave.evaluate(x, 0.0, q);
+                    Acoustic::set_params(q, 1.0, 1.0);
+                });
+                let dt = engine.max_dt();
+                engine.step(dt); // warm-up: scratch allocation, page faults
+                let start = Instant::now();
+                for _ in 0..steps {
+                    engine.step(dt);
+                }
+                let us_per_cell =
+                    start.elapsed().as_secs_f64() * 1e6 / (steps as f64 * cells as f64);
+                SweepPoint {
+                    block_size: bs,
+                    us_per_cell,
+                }
+            })
+            .collect()
+    }
+
+    /// The measured-optimal plateau: every block size whose step cost is
+    /// within `tolerance` (e.g. `1.15` = 15 %) of the fastest point.
+    /// Step-time curves over block size are flat around the optimum, so
+    /// a tuner pick anywhere on the plateau is as good as the argmin.
+    pub fn plateau(points: &[SweepPoint], tolerance: f64) -> Vec<usize> {
+        let best = points
+            .iter()
+            .map(|p| p.us_per_cell)
+            .fold(f64::INFINITY, f64::min);
+        points
+            .iter()
+            .filter(|p| p.us_per_cell <= best * tolerance)
+            .map(|p| p.block_size)
+            .collect()
+    }
+}
+
 /// Minimal micro-bench harness (`harness = false` benches) — a criterion
 /// substitute that keeps the workspace free of external dependencies.
 pub mod harness {

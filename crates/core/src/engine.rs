@@ -9,6 +9,7 @@ use crate::par;
 use crate::plan::{CellSource, KernelVariant, StpConfig, StpPlan};
 use crate::registry::KernelRegistry;
 use crate::riemann::{boundary_face, rusanov_face, BoundaryScratch};
+use crate::tune::{tune_plan, TuneReport, TuningMode};
 use aderdg_mesh::{Face, Neighbor, StructuredMesh};
 use aderdg_pde::{LinearPde, PointSource};
 use aderdg_tensor::AlignedVec;
@@ -39,13 +40,20 @@ use std::collections::HashMap;
 ///   node set, trading a slightly worse conditioning for cheaper face
 ///   coupling in schemes that exploit it.
 /// * **`block_size`** — cells per predictor block. `None` (default)
-///   sizes blocks from the kernel's scratch footprint via
-///   [`auto_block_size`] so the block working set stays cache-resident:
-///   big blocks amortize operator loads (the win of the batched
-///   pipeline), but a block that outgrows L2 pays more in re-fetched
-///   state than it saves. Set it explicitly to `1` to force the
-///   per-cell path or when benchmarking the sweet spot with the
-///   `block_sweep` bench binary.
+///   leaves the choice to the tuner (see `tuning`): big blocks amortize
+///   operator loads (the win of the batched pipeline), but a block that
+///   outgrows L2 pays more in re-fetched state than it saves. Set it
+///   explicitly to `1` to force the per-cell path or when benchmarking
+///   the sweet spot with the `block_sweep` bench binary.
+/// * **`tuning`** — how the block size and GEMM backend are picked when
+///   not overridden. `model` (default) replays the kernel's block access
+///   pattern through a cache simulator and takes the cheapest predicted
+///   candidate — deterministic, no timing involved. `static` reproduces
+///   the original [`auto_block_size`] footprint heuristic and the
+///   widest-supported backend (hermetic CI baseline). `probe`
+///   additionally times real `run_block` calls and ranks GEMM backends
+///   by measured speed — fastest, but machine-dependent. The decision is
+///   recorded in [`Engine::tune_report`].
 #[derive(Clone, Copy)]
 pub struct EngineConfig {
     /// STP kernel to run, resolved from the [`KernelRegistry`].
@@ -58,9 +66,11 @@ pub struct EngineConfig {
     pub width: Option<aderdg_tensor::SimdWidth>,
     /// Quadrature/interpolation rule.
     pub rule: aderdg_quadrature::QuadratureRule,
-    /// Cells per predictor block (`None` = heuristic from the kernel's
-    /// scratch footprint, see [`auto_block_size`]).
+    /// Cells per predictor block (`None` = let the tuner decide, see
+    /// [`TuningMode`]).
     pub block_size: Option<usize>,
+    /// Plan-time tuning strategy for the block size and GEMM backend.
+    pub tuning: TuningMode,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -72,6 +82,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("width", &self.width)
             .field("rule", &self.rule)
             .field("block_size", &self.block_size)
+            .field("tuning", &self.tuning)
             .finish()
     }
 }
@@ -92,6 +103,7 @@ impl EngineConfig {
             width: None,
             rule: aderdg_quadrature::QuadratureRule::GaussLegendre,
             block_size: None,
+            tuning: TuningMode::default(),
         }
     }
 
@@ -141,24 +153,35 @@ impl EngineConfig {
         self.block_size = Some(block_size);
         self
     }
+
+    /// Selects the plan-time tuning strategy (builder style).
+    pub fn with_tuning(mut self, tuning: TuningMode) -> Self {
+        self.tuning = tuning;
+        self
+    }
 }
 
-/// Cache budget the block-size heuristic targets: half of a typical
-/// 1 MiB per-core L2, leaving the other half for the cell states and
-/// predictor outputs streaming through the block.
-const BLOCK_L2_BUDGET_BYTES: usize = 512 * 1024;
+/// Cache budget the *static* block-size heuristic targets: half of a
+/// typical 1 MiB per-core L2, leaving the other half for the cell states
+/// and predictor outputs streaming through the block.
+pub const BLOCK_L2_BUDGET_BYTES: usize = 512 * 1024;
 
-/// Largest block the heuristic picks: past this, the amortization of the
-/// operator loads has long saturated and bigger blocks only reduce the
-/// parallel grain count.
-const BLOCK_SIZE_CAP: usize = 16;
+/// Largest block any tuning mode picks: past this, the amortization of
+/// the operator loads has long saturated and bigger blocks only reduce
+/// the parallel grain count.
+pub const BLOCK_SIZE_CAP: usize = 16;
 
-/// Picks a predictor block size from a kernel's per-cell scratch
-/// footprint ([`StpKernel::footprint_bytes`]): the largest `B ≤ 16` whose
-/// block working set `B · footprint` fits a 512 KiB L2 budget, and at
-/// least `1`. Low-footprint kernels (SplitCK at moderate order) get wide
-/// blocks; the generic kernel's `O(N⁴m)` temporaries quickly force
-/// `B = 1`.
+/// The *static* block-size heuristic (`tuning = static`): the largest
+/// `B ≤ 16` whose block working set `B · footprint` fits a 512 KiB L2
+/// budget, and at least `1`, from the kernel's per-cell scratch footprint
+/// ([`StpKernel::footprint_bytes`]). Low-footprint kernels (SplitCK at
+/// moderate order) get wide blocks; the generic kernel's `O(N⁴m)`
+/// temporaries quickly force `B = 1`.
+///
+/// The default `model` tuning mode replaces this constant-budget guess
+/// with a cache-simulated ranking (see [`crate::tune`]); the heuristic
+/// remains both the hermetic fallback and the answer for kernels whose
+/// `run_block` is the per-cell fallback.
 pub fn auto_block_size(footprint_bytes: usize) -> usize {
     (BLOCK_L2_BUDGET_BYTES / footprint_bytes.max(1)).clamp(1, BLOCK_SIZE_CAP)
 }
@@ -193,8 +216,11 @@ pub struct Engine<P: LinearPde> {
     sources: Vec<(usize, Vec<f64>, PointSource)>,
     /// Registered receiver probes.
     pub receivers: Vec<Receiver>,
-    /// Resolved predictor block size (config override or heuristic).
+    /// Resolved predictor block size (config override or tuner pick).
     block_size: usize,
+    /// What the plan-time tuner decided (block size, GEMM backend) and
+    /// the candidates it weighed.
+    tune: TuneReport,
     /// Simulated time.
     pub time: f64,
     /// Steps taken.
@@ -210,15 +236,24 @@ impl<P: LinearPde> Engine<P> {
             cfg = cfg.with_width(w);
         }
         cfg.rule = config.rule;
-        let plan = StpPlan::new(cfg, mesh.cell_size());
+        // Plan-time tuning: pick the GEMM backend and block size (unless
+        // overridden) per the configured strategy — the plan comes back
+        // already built on the chosen backend, and the report is kept
+        // for introspection.
+        let (plan, tune_report) = tune_plan(
+            cfg,
+            mesh.cell_size(),
+            config.kernel,
+            &pde,
+            config.tuning,
+            config.block_size,
+        );
         let cells = mesh.num_cells();
         let state = (0..cells)
             .map(|_| AlignedVec::zeroed(plan.aos.len()))
             .collect();
         let outputs = (0..cells).map(|_| StpOutputs::new(&plan)).collect();
-        let block_size = config
-            .block_size
-            .unwrap_or_else(|| auto_block_size(config.kernel.footprint_bytes(&plan)));
+        let block_size = tune_report.block_size;
         assert!(block_size >= 1, "block size must be at least 1");
         Self {
             mesh,
@@ -230,16 +265,24 @@ impl<P: LinearPde> Engine<P> {
             sources: Vec::new(),
             receivers: Vec::new(),
             block_size,
+            tune: tune_report,
             time: 0.0,
             steps: 0,
         }
     }
 
     /// The resolved predictor block size this engine steps with (the
-    /// config's override, or [`auto_block_size`] of the kernel's scratch
-    /// footprint).
+    /// config's override, or the tuner's pick — see
+    /// [`Engine::tune_report`]).
     pub fn block_size(&self) -> usize {
         self.block_size
+    }
+
+    /// The plan-time tuning decision: chosen block size and GEMM backend,
+    /// the static-heuristic baseline, and every candidate the tuner
+    /// weighed (with predicted costs, and probe timings in `probe` mode).
+    pub fn tune_report(&self) -> &TuneReport {
+        &self.tune
     }
 
     /// Initializes every node from a closure over physical coordinates.
@@ -629,16 +672,40 @@ mod tests {
     }
 
     #[test]
-    fn engine_resolves_block_size_from_config_or_heuristic() {
+    fn engine_resolves_block_size_from_config_or_tuner() {
         use aderdg_mesh::StructuredMesh;
         use aderdg_pde::Acoustic;
         let cfg = EngineConfig::new(3).with_block_size(5);
         let engine = Engine::new(StructuredMesh::unit_cube(2), Acoustic, cfg);
         assert_eq!(engine.block_size(), 5);
+        assert_eq!(engine.tune_report().block_size, 5);
 
+        // The default kernel (SplitCK) runs the per-cell fallback under
+        // the block pipeline, so model tuning keeps the heuristic answer.
         let cfg = EngineConfig::new(3);
         let engine = Engine::new(StructuredMesh::unit_cube(2), Acoustic, cfg);
         let expected = auto_block_size(cfg.kernel.footprint_bytes(&engine.plan));
         assert_eq!(engine.block_size(), expected);
+        assert_eq!(engine.tune_report().mode, TuningMode::Model);
+
+        // A blocked kernel under model tuning picks from the candidate
+        // slate, within the cap.
+        let cfg = EngineConfig::new(3).with_kernel_name("aosoa_splitck");
+        let engine = Engine::new(StructuredMesh::unit_cube(2), Acoustic, cfg);
+        assert!((1..=BLOCK_SIZE_CAP).contains(&engine.block_size()));
+        assert!(!engine.tune_report().block_candidates.is_empty());
+    }
+
+    #[test]
+    fn static_tuning_preserves_the_heuristic_for_blocked_kernels() {
+        use aderdg_mesh::StructuredMesh;
+        use aderdg_pde::Acoustic;
+        let cfg = EngineConfig::new(3)
+            .with_kernel_name("generic")
+            .with_tuning(TuningMode::Static);
+        let engine = Engine::new(StructuredMesh::unit_cube(2), Acoustic, cfg);
+        let expected = auto_block_size(cfg.kernel.footprint_bytes(&engine.plan));
+        assert_eq!(engine.block_size(), expected);
+        assert!(engine.tune_report().block_candidates.is_empty());
     }
 }

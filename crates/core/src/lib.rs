@@ -22,6 +22,7 @@ pub mod registry;
 pub mod riemann;
 pub mod spec;
 pub mod traces;
+pub mod tune;
 
 pub use block::{BlockInputs, CellBlock};
 pub use engine::{auto_block_size, Engine, EngineConfig, Receiver};
@@ -30,3 +31,4 @@ pub use plan::{CellSource, KernelVariant, StpConfig, StpPlan};
 pub use registry::KernelRegistry;
 pub use riemann::{boundary_face, rusanov_face, BoundaryScratch};
 pub use spec::{SolverSpec, SpecError};
+pub use tune::{BackendCandidate, BlockCandidate, TuneReport, TuningMode};

@@ -11,10 +11,12 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Cached worker-thread count (0 = not yet resolved).
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
 /// Number of worker threads the cell loops use.
 pub fn num_threads() -> usize {
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
-    let cached = CACHED.load(Ordering::Relaxed);
+    let cached = NUM_THREADS.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
     }
@@ -27,8 +29,22 @@ pub fn num_threads() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
-    CACHED.store(n, Ordering::Relaxed);
+    NUM_THREADS.store(n, Ordering::Relaxed);
     n
+}
+
+/// Overrides the worker-thread count for subsequent cell loops.
+///
+/// Intended for tests and benches that compare runs at several thread
+/// counts within one process (e.g. the thread-count determinism matrix);
+/// production runs set `ADERDG_THREADS` instead, which is read once on
+/// first use. The override is global and takes effect immediately.
+///
+/// # Panics
+/// If `n` is zero.
+pub fn set_num_threads(n: usize) {
+    assert!(n >= 1, "thread count must be at least 1");
+    NUM_THREADS.store(n, Ordering::Relaxed);
 }
 
 /// Applies `f(state, index, item)` to every item of `items` in parallel,
@@ -73,6 +89,13 @@ pub fn for_each_mut<T: Send>(items: &mut [T], f: impl Fn(usize, &mut T) + Sync) 
 
 /// Parallel `max` of `f` over `items`; returns `identity` for an empty
 /// slice.
+///
+/// NaN behaviour follows [`f64::max`]: a NaN value loses against any
+/// non-NaN operand, so NaN items are effectively ignored and `identity`
+/// is returned when *every* mapped value is NaN (and `identity` itself is
+/// not). The result is independent of the chunking — `max` is associative
+/// and commutative over the non-NaN values — which is what keeps
+/// [`crate::Engine::max_dt`] bit-identical across thread counts.
 pub fn map_max<T: Sync>(items: &[T], identity: f64, f: impl Fn(&T) -> f64 + Sync) -> f64 {
     let len = items.len();
     let threads = num_threads().min(len.max(1));
@@ -137,5 +160,60 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    /// The thread-count override is process-global: tests that flip it
+    /// must hold this lock so the save/restore pairs cannot interleave
+    /// (which would leak the override into unrelated tests).
+    static THREAD_KNOB: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn for_each_handles_empty_and_tiny_slices() {
+        // Empty slice: no work, no panic, init never observed.
+        let mut empty: Vec<usize> = Vec::new();
+        for_each_mut(&mut empty, |_, _| unreachable!("no items to visit"));
+
+        // Single item.
+        let mut one = vec![0usize];
+        for_each_mut(&mut one, |i, x| *x = i + 42);
+        assert_eq!(one, vec![42]);
+
+        // Fewer items than workers: every index still visited exactly
+        // once (the chunking clamps to the item count).
+        let _guard = THREAD_KNOB.lock().unwrap();
+        let before = num_threads();
+        set_num_threads(16);
+        let mut few = vec![0usize; 3];
+        for_each_mut_init(
+            &mut few,
+            || (),
+            |(), i, x| {
+                *x += i + 1;
+            },
+        );
+        assert_eq!(few, vec![1, 2, 3]);
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn map_max_edge_cases_empty_single_and_len_below_threads() {
+        assert_eq!(map_max::<f64>(&[], 7.5, |&x| x), 7.5);
+        assert_eq!(map_max(&[3.0f64], 0.0, |&x| x), 3.0);
+        let _guard = THREAD_KNOB.lock().unwrap();
+        let before = num_threads();
+        set_num_threads(16);
+        let v = [2.0f64, 9.0, 4.0];
+        assert_eq!(map_max(&v, 0.0, |&x| x), 9.0);
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn map_max_ignores_nan_items() {
+        // f64::max drops NaN against any non-NaN operand...
+        let v = [1.0f64, f64::NAN, 5.0, f64::NAN];
+        assert_eq!(map_max(&v, 0.0, |&x| x), 5.0);
+        // ...so an all-NaN slice falls back to the identity.
+        let all_nan = [f64::NAN, f64::NAN];
+        assert_eq!(map_max(&all_nan, -1.0, |&x| x), -1.0);
     }
 }

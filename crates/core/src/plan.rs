@@ -143,6 +143,28 @@ impl StpPlan {
 
     /// Builds a plan with an explicit GEMM ISA cap.
     pub fn with_isa(cfg: StpConfig, dx: [f64; 3], isa: Isa) -> Self {
+        Self::build(cfg, dx, &|spec| Gemm::with_isa(spec, isa))
+    }
+
+    /// Builds a plan whose GEMMs all dispatch to an explicit backend —
+    /// the probe-tuned selection path (`tuning = probe`), where the
+    /// engine replaces the widest-first pick with the backend that
+    /// measured fastest on this plan's shapes.
+    pub fn with_gemm_backend(
+        cfg: StpConfig,
+        dx: [f64; 3],
+        backend: &'static dyn aderdg_gemm::GemmBackend,
+    ) -> Self {
+        Self::build(cfg, dx, &|spec| Gemm::with_backend(spec, backend))
+    }
+
+    /// The GEMM backend this plan's kernels dispatch to (uniform across
+    /// all of the plan's GEMMs by construction).
+    pub fn gemm_backend(&self) -> &'static dyn aderdg_gemm::GemmBackend {
+        self.gemm_aos[0].backend()
+    }
+
+    fn build(cfg: StpConfig, dx: [f64; 3], plan_gemm: &dyn Fn(GemmSpec) -> Gemm) -> Self {
         let n = cfg.order;
         let m = cfg.quantities;
         assert!(n >= 2, "ADER-DG needs at least two nodes per dimension");
@@ -213,8 +235,7 @@ impl StpPlan {
                 },
             }
         };
-        let plan = |spec: GemmSpec| Gemm::with_isa(spec, isa);
-        let acc = |spec: GemmSpec| Gemm::with_isa(spec.accumulate(), isa);
+        let acc = |spec: GemmSpec| plan_gemm(spec.accumulate());
 
         Self {
             cfg,
@@ -224,12 +245,16 @@ impl StpPlan {
             face,
             inv_dx,
             diff_t_padded,
-            gemm_aos: [plan(spec_aos(0)), plan(spec_aos(1)), plan(spec_aos(2))],
+            gemm_aos: [
+                plan_gemm(spec_aos(0)),
+                plan_gemm(spec_aos(1)),
+                plan_gemm(spec_aos(2)),
+            ],
             gemm_aos_acc: [acc(spec_aos(0)), acc(spec_aos(1)), acc(spec_aos(2))],
             gemm_aosoa: [
-                plan(spec_aosoa(0)),
-                plan(spec_aosoa(1)),
-                plan(spec_aosoa(2)),
+                plan_gemm(spec_aosoa(0)),
+                plan_gemm(spec_aosoa(1)),
+                plan_gemm(spec_aosoa(2)),
             ],
             gemm_aosoa_acc: [acc(spec_aosoa(0)), acc(spec_aosoa(1)), acc(spec_aosoa(2))],
         }

@@ -15,11 +15,13 @@
 //! rule       = gauss_legendre
 //! cfl        = 0.4
 //! block_size = auto
+//! tuning     = model
 //! ```
 
 use crate::engine::EngineConfig;
 use crate::kernels::StpKernel;
 use crate::registry::KernelRegistry;
+use crate::tune::TuningMode;
 use aderdg_quadrature::QuadratureRule;
 use aderdg_tensor::SimdWidth;
 use std::fmt;
@@ -55,9 +57,14 @@ pub struct SolverSpec {
     pub rule: QuadratureRule,
     /// CFL factor (default 0.4).
     pub cfl: f64,
-    /// Predictor block size (`None` = footprint heuristic, spec value
-    /// `auto`).
+    /// Predictor block size (`None` = leave the pick to the tuner, spec
+    /// value `auto`).
     pub block_size: Option<usize>,
+    /// Plan-time tuning strategy (`static` | `model` | `probe`, default
+    /// `model`). `static` reproduces the original footprint heuristic —
+    /// the hermetic choice for CI; `probe` times real kernels on the
+    /// host.
+    pub tuning: TuningMode,
 }
 
 impl std::fmt::Debug for SolverSpec {
@@ -69,6 +76,7 @@ impl std::fmt::Debug for SolverSpec {
             .field("rule", &self.rule)
             .field("cfl", &self.cfl)
             .field("block_size", &self.block_size)
+            .field("tuning", &self.tuning)
             .finish()
     }
 }
@@ -83,6 +91,7 @@ impl PartialEq for SolverSpec {
             && self.rule == other.rule
             && self.cfl == other.cfl
             && self.block_size == other.block_size
+            && self.tuning == other.tuning
     }
 }
 
@@ -97,6 +106,7 @@ impl Default for SolverSpec {
             rule: QuadratureRule::GaussLegendre,
             cfl: 0.4,
             block_size: None,
+            tuning: TuningMode::default(),
         }
     }
 }
@@ -176,6 +186,11 @@ impl SolverSpec {
                             )?),
                         };
                 }
+                "tuning" => {
+                    spec.tuning = TuningMode::parse(value).ok_or_else(|| {
+                        err(format!("unknown tuning `{value}` (static|model|probe)"))
+                    })?;
+                }
                 other => {
                     return Err(err(format!("unknown key `{other}`")));
                 }
@@ -207,6 +222,7 @@ impl SolverSpec {
             .with_width(self.width);
         cfg.cfl = self.cfl;
         cfg.block_size = self.block_size;
+        cfg.tuning = self.tuning;
         cfg
     }
 }
@@ -235,6 +251,25 @@ mod tests {
         assert_eq!(spec.block_size, Some(8));
         assert_eq!(spec.engine_config().order, 6);
         assert_eq!(spec.engine_config().block_size, Some(8));
+    }
+
+    #[test]
+    fn tuning_parses_defaults_to_model_and_rejects_unknown() {
+        assert_eq!(
+            SolverSpec::parse("order = 4\n").unwrap().tuning,
+            TuningMode::Model
+        );
+        for (text, mode) in [
+            ("tuning = static\n", TuningMode::Static),
+            ("tuning = model\n", TuningMode::Model),
+            ("tuning = probe\n", TuningMode::Probe),
+        ] {
+            let spec = SolverSpec::parse(text).unwrap();
+            assert_eq!(spec.tuning, mode);
+            assert_eq!(spec.engine_config().tuning, mode);
+        }
+        let e = SolverSpec::parse("tuning = lucky\n").unwrap_err();
+        assert!(e.message.contains("static|model|probe"));
     }
 
     #[test]

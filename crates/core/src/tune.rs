@@ -1,0 +1,655 @@
+//! Plan-time autotuning: model-driven selection of the predictor block
+//! size and the GEMM backend.
+//!
+//! The paper's Sec. IV ties kernel performance to whether the predictor's
+//! temporaries stay cache-resident. The engine's original block-size pick
+//! ([`auto_block_size`]) encoded that insight as a hard-coded budget
+//! (largest `B ≤ 16` with `B · footprint ≤ 512 KiB`). This module replaces
+//! the magic constant with a measurement-driven decision:
+//!
+//! 1. **footprint** — the kernel's block scratch defines the candidate
+//!    working sets,
+//! 2. **cachesim** — each candidate block size replays the kernel's block
+//!    access pattern ([`trace_block_batch`]) through a scaled Skylake-SP
+//!    LRU hierarchy ([`ScaledCacheSim`]); misses are charged by the
+//!    machine model and per-block overheads amortize with `B`
+//!    ([`BlockCostModel`]),
+//! 3. **probe** (opt-in) — the top model candidates are re-ranked by
+//!    actually timing [`StpKernel::run_block`] on synthetic cells, and the
+//!    GEMM backend is picked by measured ranking
+//!    ([`aderdg_gemm::rank_backends`]) instead of widest-first,
+//! 4. **plan** — the winning block size and backend are recorded in a
+//!    [`TuneReport`] the engine exposes and the bench binaries print.
+//!
+//! The three [`TuningMode`]s trade fidelity against hermeticity: `static`
+//! reproduces the original heuristic exactly (bit-stable CI), `model`
+//! (the default) is deterministic simulation, `probe` times real code and
+//! is as machine-dependent as the hardware it runs on.
+
+use crate::block::{BlockInputs, CellBlock};
+use crate::engine::auto_block_size;
+use crate::kernels::{StpKernel, StpOutputs};
+use crate::plan::{KernelVariant, StpPlan};
+use crate::traces::trace_block_batch;
+use aderdg_gemm::Isa;
+use aderdg_pde::LinearPde;
+use aderdg_perf::tuner::{
+    best_candidate, probe_median_secs, BlockCostModel, Candidate, ScaledCacheSim,
+};
+use aderdg_quadrature::QuadratureRule;
+use aderdg_tensor::SimdWidth;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// How the engine picks its predictor block size and GEMM backend at
+/// construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TuningMode {
+    /// The original footprint heuristic ([`auto_block_size`]) and the
+    /// widest-supported GEMM backend. Fully hermetic: no simulation, no
+    /// timing — byte-for-byte the pre-tuner behaviour, kept for CI and
+    /// reproducible baselines.
+    Static,
+    /// Cache-simulation ranking (the default): candidate block sizes are
+    /// replayed through the scaled Skylake-SP hierarchy and the cheapest
+    /// predicted candidate wins. Deterministic for a fixed plan — no
+    /// wall-clock input enters the decision.
+    #[default]
+    Model,
+    /// Model ranking refined by in-process micro-probes: the top model
+    /// candidates are timed with real `run_block` calls on synthetic
+    /// cells, and GEMM backends are ranked by measured speed. Fastest in
+    /// practice, but machine- and load-dependent.
+    Probe,
+}
+
+impl TuningMode {
+    /// Parses the specification-file value (`static` | `model` | `probe`).
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "static" => Some(TuningMode::Static),
+            "model" => Some(TuningMode::Model),
+            "probe" => Some(TuningMode::Probe),
+            _ => None,
+        }
+    }
+
+    /// The specification-file spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TuningMode::Static => "static",
+            TuningMode::Model => "model",
+            TuningMode::Probe => "probe",
+        }
+    }
+}
+
+impl fmt::Display for TuningMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One evaluated block-size candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCandidate {
+    /// Cells per predictor block.
+    pub block_size: usize,
+    /// Modelled block-size-dependent cycles per cell (memory stalls of
+    /// the replayed miss profile plus amortized per-block overhead; the
+    /// block-size-independent compute cycles are excluded).
+    pub predicted_cycles_per_cell: f64,
+    /// L2 miss ratio of the replayed steady state — the cache-residency
+    /// signal of the paper's analysis.
+    pub l2_miss_ratio: f64,
+    /// Measured microseconds per cell from the `probe` refinement, if this
+    /// candidate was probed.
+    pub probed_us_per_cell: Option<f64>,
+}
+
+/// One GEMM backend candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendCandidate {
+    /// Backend name (`baseline` | `avx2` | `avx512`).
+    pub name: &'static str,
+    /// Whether the host passes the backend's runtime probe.
+    pub supported: bool,
+    /// Measured microseconds per GEMM call (probe mode only).
+    pub probed_us: Option<f64>,
+}
+
+/// What the tuner decided and why — exposed via
+/// [`Engine::tune_report`](crate::Engine::tune_report) and printed by the
+/// bench binaries.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// The mode that produced this report.
+    pub mode: TuningMode,
+    /// Registry key of the tuned kernel.
+    pub kernel: &'static str,
+    /// The chosen predictor block size.
+    pub block_size: usize,
+    /// What the static footprint heuristic would have picked (always
+    /// computed, for comparison).
+    pub static_block_size: usize,
+    /// Evaluated block-size candidates (empty when the choice was an
+    /// explicit override, `static` mode, or a kernel without a block
+    /// access model).
+    pub block_candidates: Vec<BlockCandidate>,
+    /// Name of the chosen GEMM backend.
+    pub backend: &'static str,
+    /// Considered GEMM backends (probe times filled in `probe` mode).
+    pub backend_candidates: Vec<BackendCandidate>,
+}
+
+impl fmt::Display for TuneReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "tune[{} mode={}]: block_size={} (static heuristic {}), gemm={}",
+            self.kernel, self.mode, self.block_size, self.static_block_size, self.backend
+        )?;
+        if !self.block_candidates.is_empty() {
+            writeln!(
+                f,
+                "  {:>4} {:>16} {:>10} {:>14}",
+                "B", "pred cyc/cell", "L2 miss%", "probe µs/cell"
+            )?;
+            for c in &self.block_candidates {
+                let probe = c
+                    .probed_us_per_cell
+                    .map(|t| format!("{t:.2}"))
+                    .unwrap_or_else(|| "-".into());
+                let mark = if c.block_size == self.block_size {
+                    "*"
+                } else {
+                    " "
+                };
+                writeln!(
+                    f,
+                    "  {:>3}{mark} {:>16.1} {:>9.1}% {:>14}",
+                    c.block_size,
+                    c.predicted_cycles_per_cell,
+                    c.l2_miss_ratio * 100.0,
+                    probe
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Block sizes the tuner evaluates (all `≤` the engine's block-size cap).
+pub const BLOCK_CANDIDATES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Cache-simulation granularity: one simulated line stands for 16 real
+/// lines (1 KiB), keeping the plan-time replay cheap while the tuned
+/// buffers (tens of KiB to MiB) still resolve sharply.
+const SIM_SCALE: usize = 16;
+
+/// Blocks replayed for the steady-state measurement (after one warm-up
+/// block).
+const SIM_BLOCKS: usize = 2;
+
+/// How many of the best model candidates the probe refinement re-times.
+const PROBE_TOP: usize = 3;
+
+/// Timed repetitions per probe (median taken).
+const PROBE_REPS: usize = 3;
+
+/// The paper variant whose *blocked* access pattern models this kernel,
+/// if it has one. Kernels running the per-cell `run_block` fallback have
+/// no block-size-dependent access pattern, so the model has nothing to
+/// rank and the tuner keeps the static heuristic for them.
+fn variant_with_block_model(kernel_name: &str) -> Option<KernelVariant> {
+    match kernel_name {
+        "generic" => Some(KernelVariant::Generic),
+        "aosoa_splitck" => Some(KernelVariant::AoSoASplitCk),
+        _ => None,
+    }
+}
+
+/// Costs every [`BLOCK_CANDIDATES`] entry for `kernel_name` under `plan`
+/// by cache-simulated replay, or `None` if the kernel has no block access
+/// model. Deterministic: repeated calls yield identical candidates.
+pub fn model_block_candidates(
+    plan: &StpPlan,
+    kernel_name: &str,
+    has_ncp: bool,
+) -> Option<Vec<BlockCandidate>> {
+    let variant = variant_with_block_model(kernel_name)?;
+    let model = BlockCostModel::skylake_sp();
+    Some(
+        BLOCK_CANDIDATES
+            .iter()
+            .map(|&bs| {
+                let mut sim = ScaledCacheSim::skylake_sp(SIM_SCALE);
+                // Warm-up block: compulsory misses of the reused scratch.
+                trace_block_batch(plan, variant, has_ncp, bs, 1, &mut sim);
+                sim.reset_stats();
+                let stages = trace_block_batch(plan, variant, has_ncp, bs, SIM_BLOCKS, &mut sim)
+                    .expect("variant has a block model");
+                let stats = sim.stats();
+                BlockCandidate {
+                    block_size: bs,
+                    predicted_cycles_per_cell: model.cycles_per_cell(
+                        &stats,
+                        bs * SIM_BLOCKS,
+                        SIM_BLOCKS,
+                        stages,
+                    ),
+                    l2_miss_ratio: stats.l2.miss_ratio(),
+                    probed_us_per_cell: None,
+                }
+            })
+            .collect(),
+    )
+}
+
+/// The model's pick from a candidate slate: the block size with the
+/// lowest predicted cost (first wins ties). This is the *single* place
+/// the selection rule lives — the engine (`model` mode) and the
+/// `block_sweep` compare harness both route through it, so the bench
+/// always validates exactly the pick the engine acts on.
+///
+/// # Panics
+/// If `candidates` is empty.
+pub fn best_predicted_block_size(candidates: &[BlockCandidate]) -> usize {
+    best_candidate(
+        &candidates
+            .iter()
+            .map(|c| Candidate {
+                value: c.block_size,
+                cost: c.predicted_cycles_per_cell,
+            })
+            .collect::<Vec<_>>(),
+    )
+    .expect("candidate slate is never empty")
+}
+
+/// Everything the replay depends on — the memo key for
+/// [`model_block_candidates`] results (engines are constructed far more
+/// often than distinct plans appear, especially in tests).
+type ModelKey = (&'static str, usize, usize, SimdWidth, QuadratureRule, bool);
+
+fn cached_model_candidates(
+    plan: &StpPlan,
+    kernel: &'static dyn StpKernel,
+    has_ncp: bool,
+) -> Option<Vec<BlockCandidate>> {
+    static MEMO: OnceLock<Mutex<HashMap<ModelKey, Option<Vec<BlockCandidate>>>>> = OnceLock::new();
+    let key: ModelKey = (
+        kernel.name(),
+        plan.n(),
+        plan.m(),
+        plan.cfg.width,
+        plan.cfg.rule,
+        has_ncp,
+    );
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = memo.lock().expect("tuner memo poisoned").get(&key) {
+        return hit.clone();
+    }
+    let computed = model_block_candidates(plan, kernel.name(), has_ncp);
+    memo.lock()
+        .expect("tuner memo poisoned")
+        .insert(key, computed.clone());
+    computed
+}
+
+/// Times one `run_block` invocation at block size `bs` on seeded synthetic
+/// cells; returns median seconds per call.
+fn probe_run_block(
+    plan: &StpPlan,
+    kernel: &'static dyn StpKernel,
+    pde: &dyn LinearPde,
+    bs: usize,
+) -> f64 {
+    let mut scratch = kernel.make_block_scratch(plan, bs);
+    let mut block = CellBlock::new(plan, bs);
+    let mut rng = aderdg_tensor::Lcg::new(0xB10C + bs as u64);
+    for _ in 0..bs {
+        // Positive O(1) values for every stored quantity (including
+        // material parameters) keep the user functions away from
+        // denormals and divisions by ~0, which would distort timing.
+        block.push(&rng.vec(plan.aos.len(), 0.5, 1.5));
+    }
+    let mut outs: Vec<StpOutputs> = (0..bs).map(|_| StpOutputs::new(plan)).collect();
+    let sources = vec![None; bs];
+    probe_median_secs(PROBE_REPS, || {
+        let inputs = BlockInputs::new(&block, 1e-3, &sources);
+        kernel.run_block(plan, pde, scratch.as_mut(), &inputs, &mut outs);
+    })
+}
+
+/// Probe refinement: re-times the `PROBE_TOP` cheapest model candidates
+/// with real `run_block` calls and returns the measured winner.
+fn probe_block_size(
+    plan: &StpPlan,
+    kernel: &'static dyn StpKernel,
+    pde: &dyn LinearPde,
+    candidates: &mut [BlockCandidate],
+) -> usize {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by(|&a, &b| {
+        candidates[a]
+            .predicted_cycles_per_cell
+            .total_cmp(&candidates[b].predicted_cycles_per_cell)
+    });
+    let mut best = (candidates[order[0]].block_size, f64::INFINITY);
+    for &i in order.iter().take(PROBE_TOP) {
+        let bs = candidates[i].block_size;
+        let secs = probe_run_block(plan, kernel, pde, bs);
+        let us_per_cell = secs * 1e6 / bs as f64;
+        candidates[i].probed_us_per_cell = Some(us_per_cell);
+        if us_per_cell < best.1 {
+            best = (bs, us_per_cell);
+        }
+    }
+    best.0
+}
+
+/// The ISA cap implied by a plan's SIMD width (the paper's
+/// narrower-build comparisons cap the GEMM backend the same way).
+fn isa_cap(plan: &StpPlan) -> Isa {
+    match plan.cfg.width {
+        SimdWidth::W2 => Isa::Baseline,
+        SimdWidth::W4 => Isa::Avx2,
+        SimdWidth::W8 => Isa::Avx512,
+    }
+}
+
+/// Selects the GEMM backend: widest-supported in `static`/`model` modes
+/// (the existing plan-time pick), measured ranking over the plan's fused
+/// z-derivative GEMM — its largest shape — in `probe` mode. The probe
+/// spec follows the layout the kernel actually dispatches: hybrid-layout
+/// kernels (`aosoa_splitck`, `onthefly`) execute the AoSoA plans, every
+/// other kernel the AoS ones — ranking the wrong shape could crown a
+/// backend the plan never benefits from.
+fn tune_backend(
+    plan: &StpPlan,
+    kernel_name: &str,
+    mode: TuningMode,
+) -> (&'static str, Vec<BackendCandidate>) {
+    let cap = isa_cap(plan);
+    match mode {
+        TuningMode::Static | TuningMode::Model => {
+            let chosen = plan.gemm_backend().name();
+            let candidates = aderdg_gemm::backends()
+                .iter()
+                .filter(|b| b.isa() <= cap)
+                .map(|b| BackendCandidate {
+                    name: b.name(),
+                    supported: b.supported(),
+                    probed_us: None,
+                })
+                .collect();
+            (chosen, candidates)
+        }
+        TuningMode::Probe => {
+            // Hybrid-layout kernels dispatch the *batched* AoSoA path
+            // (one `run_batched` per derivative sweep of the block —
+            // backends differ there by their blocked overrides, not the
+            // single-call body); everything else executes per-batch AoS
+            // GEMMs. Probe the path that actually runs.
+            let ranked = match kernel_name {
+                "aosoa_splitck" | "onthefly" => {
+                    let spec = *plan.gemm_aosoa[2].spec();
+                    let stride = plan.aosoa.len();
+                    let batch = aderdg_gemm::GemmBatch::shared_a(4, stride, stride);
+                    aderdg_gemm::rank_backends_batched(&spec, &batch, cap, PROBE_REPS)
+                }
+                _ => {
+                    let spec = *plan.gemm_aos[2].spec();
+                    aderdg_gemm::rank_backends(&spec, cap, PROBE_REPS)
+                }
+            };
+            let chosen = ranked
+                .first()
+                .map(|(b, _)| b.name())
+                .unwrap_or_else(|| plan.gemm_backend().name());
+            let candidates = ranked
+                .iter()
+                .map(|&(b, secs)| BackendCandidate {
+                    name: b.name(),
+                    supported: true,
+                    probed_us: Some(secs * 1e6),
+                })
+                .collect();
+            (chosen, candidates)
+        }
+    }
+}
+
+/// Runs the tuner against a caller-fixed plan.
+///
+/// `block_override` is the engine config's explicit `block_size`: when
+/// set, block-size tuning is skipped entirely (the report records the
+/// override) and only the backend choice follows `mode`.
+///
+/// The reported backend is a *recommendation* — this function never
+/// rebuilds the plan, so in `probe` mode the block-size timings reflect
+/// the plan's current backend. [`tune_plan`] (what the engine uses)
+/// resolves the backend first and block-tunes the plan that will
+/// actually run.
+pub fn tune(
+    plan: &StpPlan,
+    kernel: &'static dyn StpKernel,
+    pde: &dyn LinearPde,
+    mode: TuningMode,
+    block_override: Option<usize>,
+) -> TuneReport {
+    let (backend, backend_candidates) = tune_backend(plan, kernel.name(), mode);
+    let (block_size, static_block_size, block_candidates) =
+        tune_block(plan, kernel, pde, mode, block_override);
+    TuneReport {
+        mode,
+        kernel: kernel.name(),
+        block_size,
+        static_block_size,
+        block_candidates,
+        backend,
+        backend_candidates,
+    }
+}
+
+/// The block-size half of the tuner: `(pick, static pick, candidates)`.
+fn tune_block(
+    plan: &StpPlan,
+    kernel: &'static dyn StpKernel,
+    pde: &dyn LinearPde,
+    mode: TuningMode,
+    block_override: Option<usize>,
+) -> (usize, usize, Vec<BlockCandidate>) {
+    let static_block_size = auto_block_size(kernel.footprint_bytes(plan));
+    let has_ncp = pde.has_ncp();
+    let mut block_candidates = Vec::new();
+    let block_size = if let Some(b) = block_override {
+        b
+    } else {
+        match mode {
+            TuningMode::Static => static_block_size,
+            TuningMode::Model | TuningMode::Probe => {
+                match cached_model_candidates(plan, kernel, has_ncp) {
+                    // No block access model: the per-cell fallback makes
+                    // every block size equivalent — keep the heuristic.
+                    None => static_block_size,
+                    Some(mut cands) => {
+                        let pick = if mode == TuningMode::Probe {
+                            probe_block_size(plan, kernel, pde, &mut cands)
+                        } else {
+                            best_predicted_block_size(&cands)
+                        };
+                        block_candidates = cands;
+                        pick
+                    }
+                }
+            }
+        }
+    };
+    (block_size, static_block_size, block_candidates)
+}
+
+/// Builds and tunes the plan for one engine construction.
+///
+/// Decision order matters in `probe` mode: the GEMM backend is ranked
+/// *first* and the plan rebuilt on the winner, so the subsequent
+/// block-size probes time `run_block` on exactly the (backend, plan)
+/// pair the engine will step with — a block size probed against a
+/// backend the engine does not run could sit off the measured plateau.
+/// In `static`/`model` mode the backend is the plan's own widest-first
+/// pick, so no rebuild happens and the result equals [`tune`] on a
+/// freshly built plan.
+pub fn tune_plan(
+    cfg: crate::plan::StpConfig,
+    dx: [f64; 3],
+    kernel: &'static dyn StpKernel,
+    pde: &dyn LinearPde,
+    mode: TuningMode,
+    block_override: Option<usize>,
+) -> (StpPlan, TuneReport) {
+    let plan = StpPlan::new(cfg, dx);
+    let (backend, backend_candidates) = tune_backend(&plan, kernel.name(), mode);
+    let plan = if backend == plan.gemm_backend().name() {
+        plan
+    } else {
+        let chosen = aderdg_gemm::backend_by_name(backend)
+            .expect("backend ranking only returns registered backends");
+        StpPlan::with_gemm_backend(cfg, dx, chosen)
+    };
+    let (block_size, static_block_size, block_candidates) =
+        tune_block(&plan, kernel, pde, mode, block_override);
+    let report = TuneReport {
+        mode,
+        kernel: kernel.name(),
+        block_size,
+        static_block_size,
+        block_candidates,
+        backend,
+        backend_candidates,
+    };
+    (plan, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::StpConfig;
+    use crate::registry::KernelRegistry;
+    use aderdg_pde::{Acoustic, Elastic};
+
+    fn plan(n: usize, m: usize) -> StpPlan {
+        StpPlan::new(StpConfig::new(n, m), [0.25; 3])
+    }
+
+    #[test]
+    fn tuning_mode_parses_and_displays() {
+        for (s, mode) in [
+            ("static", TuningMode::Static),
+            ("model", TuningMode::Model),
+            ("probe", TuningMode::Probe),
+        ] {
+            assert_eq!(TuningMode::parse(s), Some(mode));
+            assert_eq!(mode.to_string(), s);
+        }
+        assert_eq!(TuningMode::parse("magic"), None);
+        assert_eq!(TuningMode::default(), TuningMode::Model);
+    }
+
+    #[test]
+    fn model_candidates_cover_the_slate_and_are_deterministic() {
+        let p = plan(5, 9);
+        let a = model_block_candidates(&p, "aosoa_splitck", false).unwrap();
+        let b = model_block_candidates(&p, "aosoa_splitck", false).unwrap();
+        assert_eq!(a, b, "model mode must be deterministic");
+        assert_eq!(
+            a.iter().map(|c| c.block_size).collect::<Vec<_>>(),
+            BLOCK_CANDIDATES.to_vec()
+        );
+        for c in &a {
+            assert!(c.predicted_cycles_per_cell.is_finite());
+            assert!((0.0..=1.0).contains(&c.l2_miss_ratio));
+        }
+    }
+
+    #[test]
+    fn per_cell_fallback_kernels_have_no_model() {
+        let p = plan(4, 5);
+        for name in ["splitck", "log", "onthefly", "no_such_kernel"] {
+            assert!(model_block_candidates(&p, name, false).is_none());
+        }
+    }
+
+    #[test]
+    fn static_mode_reproduces_the_footprint_heuristic() {
+        let p = plan(4, 5);
+        for kernel in KernelRegistry::global().kernels() {
+            let report = tune(&p, kernel, &Acoustic, TuningMode::Static, None);
+            assert_eq!(
+                report.block_size,
+                auto_block_size(kernel.footprint_bytes(&p)),
+                "kernel {}",
+                kernel.name()
+            );
+            assert!(report.block_candidates.is_empty());
+        }
+    }
+
+    #[test]
+    fn override_skips_block_tuning() {
+        let p = plan(4, 5);
+        let kernel = KernelRegistry::global().resolve("generic").unwrap();
+        let report = tune(&p, kernel, &Acoustic, TuningMode::Model, Some(7));
+        assert_eq!(report.block_size, 7);
+        assert!(report.block_candidates.is_empty());
+    }
+
+    #[test]
+    fn model_mode_picks_within_the_cap_for_blocked_kernels() {
+        let p = plan(6, 21);
+        for name in ["generic", "aosoa_splitck"] {
+            let kernel = KernelRegistry::global().resolve(name).unwrap();
+            let report = tune(&p, kernel, &Elastic, TuningMode::Model, None);
+            assert!(
+                (1..=crate::engine::BLOCK_SIZE_CAP).contains(&report.block_size),
+                "{name}: {}",
+                report.block_size
+            );
+            assert_eq!(report.block_candidates.len(), BLOCK_CANDIDATES.len());
+            assert_eq!(report.backend, p.gemm_backend().name());
+        }
+    }
+
+    #[test]
+    fn probe_mode_times_top_candidates_and_backends() {
+        use aderdg_pde::LinearPde as _;
+        let p = plan(3, Acoustic.num_quantities());
+        let kernel = KernelRegistry::global().resolve("aosoa_splitck").unwrap();
+        let report = tune(&p, kernel, &Acoustic, TuningMode::Probe, None);
+        let probed = report
+            .block_candidates
+            .iter()
+            .filter(|c| c.probed_us_per_cell.is_some())
+            .count();
+        assert_eq!(probed, PROBE_TOP.min(report.block_candidates.len()));
+        assert!(!report.backend_candidates.is_empty());
+        assert!(report
+            .backend_candidates
+            .iter()
+            .all(|b| b.probed_us.is_some()));
+        // The chosen backend is the fastest-ranked one.
+        assert_eq!(report.backend, report.backend_candidates[0].name);
+    }
+
+    #[test]
+    fn report_displays_choice_and_candidates() {
+        let p = plan(4, 5);
+        let kernel = KernelRegistry::global().resolve("generic").unwrap();
+        let report = tune(&p, kernel, &Acoustic, TuningMode::Model, None);
+        let text = report.to_string();
+        assert!(text.contains("tune[generic mode=model]"));
+        assert!(text.contains("static heuristic"));
+        assert!(text.contains('*'), "the chosen candidate is marked");
+    }
+}

@@ -162,6 +162,88 @@ pub fn select_backend(cap: Isa) -> &'static dyn GemmBackend {
         .unwrap_or(&BaselineBackend)
 }
 
+/// Resolves a backend by its [`name`](GemmBackend::name).
+pub fn backend_by_name(name: &str) -> Option<&'static dyn GemmBackend> {
+    backends().iter().copied().find(|b| b.name() == name)
+}
+
+/// Times every host-supported backend at or below `cap` on `spec` and
+/// returns `(backend, median seconds per call)` sorted fastest-first.
+///
+/// This is the measured replacement for [`select_backend`]'s widest-first
+/// pick, used when the caller opts into probe-based tuning
+/// (`tuning = probe` in `aderdg-core`): on a host where the widest ISA
+/// downclocks or the problem shape favours a narrower kernel, the probe
+/// ranks what actually runs fastest *for this spec*. Operands are seeded,
+/// so repeated calls time identical work. Never empty: the baseline
+/// backend is always supported.
+pub fn rank_backends(
+    spec: &GemmSpec,
+    cap: Isa,
+    reps: usize,
+) -> Vec<(&'static dyn GemmBackend, f64)> {
+    let (la, lb, lc) = spec.required_lens();
+    rank_with(cap, reps, la, lb, lc, |bk, a, b, c| {
+        bk.execute(spec, a, b, c)
+    })
+}
+
+/// Like [`rank_backends`], but times [`GemmBackend::run_batched`] over
+/// `batch` — the right probe for kernels that dispatch the batched path
+/// (the cell-block pipeline), where backends differ by their blocked
+/// `run_batched` overrides (row fusion, hoisted bounds checks), not by
+/// the single-call body.
+pub fn rank_backends_batched(
+    spec: &GemmSpec,
+    batch: &GemmBatch,
+    cap: Isa,
+    reps: usize,
+) -> Vec<(&'static dyn GemmBackend, f64)> {
+    let (la, lb, lc) = batch.required_lens(spec);
+    rank_with(cap, reps, la, lb, lc, |bk, a, b, c| {
+        bk.run_batched(spec, batch, a, b, c)
+    })
+}
+
+/// Shared probe body: seeded operands, median of `reps` samples of an
+/// inner loop per backend, sorted fastest-first.
+fn rank_with(
+    cap: Isa,
+    reps: usize,
+    la: usize,
+    lb: usize,
+    lc: usize,
+    run: impl Fn(&'static dyn GemmBackend, &[f64], &[f64], &mut [f64]),
+) -> Vec<(&'static dyn GemmBackend, f64)> {
+    let mut rng = aderdg_tensor::Lcg::new(0x5EED_BACC);
+    let a = rng.vec(la, -1.0, 1.0);
+    let b = rng.vec(lb, -1.0, 1.0);
+    let mut c = vec![0.0; lc];
+    // Enough inner iterations per sample to rise above timer granularity
+    // on the small GEMMs a plan dispatches.
+    let inner = 32;
+    let mut ranked: Vec<(&'static dyn GemmBackend, f64)> = backends()
+        .iter()
+        .copied()
+        .filter(|bk| bk.isa() <= cap && bk.supported())
+        .map(|bk| {
+            run(bk, &a, &b, &mut c); // warm-up
+            let mut times = Vec::with_capacity(reps.max(1));
+            for _ in 0..reps.max(1) {
+                let t0 = std::time::Instant::now();
+                for _ in 0..inner {
+                    run(bk, &a, &b, &mut c);
+                }
+                times.push(t0.elapsed().as_secs_f64() / inner as f64);
+            }
+            times.sort_by(f64::total_cmp);
+            (bk, times[times.len() / 2])
+        })
+        .collect();
+    ranked.sort_by(|x, y| x.1.total_cmp(&y.1));
+    ranked
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +272,43 @@ mod tests {
             assert!(pair[0].isa() >= pair[1].isa());
         }
         assert_eq!(list.last().unwrap().name(), "baseline");
+    }
+
+    #[test]
+    fn backend_by_name_round_trips() {
+        for b in backends() {
+            assert_eq!(backend_by_name(b.name()).unwrap().name(), b.name());
+        }
+        assert!(backend_by_name("turbo").is_none());
+    }
+
+    #[test]
+    fn rank_backends_lists_supported_candidates_fastest_first() {
+        let spec = GemmSpec::dense(6, 24, 6);
+        let ranked = rank_backends(&spec, Isa::Avx512, 2);
+        assert!(!ranked.is_empty(), "baseline is always supported");
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "ranking must be sorted by time");
+        }
+        for (b, secs) in &ranked {
+            assert!(b.supported());
+            assert!(secs.is_finite() && *secs >= 0.0);
+        }
+        // Capping at baseline leaves exactly the baseline backend.
+        let capped = rank_backends(&spec, Isa::Baseline, 1);
+        assert_eq!(capped.len(), 1);
+        assert_eq!(capped[0].0.name(), "baseline");
+    }
+
+    #[test]
+    fn rank_backends_batched_times_the_batched_path() {
+        let spec = GemmSpec::dense(4, 12, 4);
+        let batch = GemmBatch::shared_a(4, 12 * 4, 12 * 4);
+        let ranked = rank_backends_batched(&spec, &batch, Isa::Avx512, 2);
+        assert!(!ranked.is_empty());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub mod backend;
 pub mod kernels;
 pub mod spec;
 
-pub use backend::{backends, select_backend, GemmBackend};
+pub use backend::{
+    backend_by_name, backends, rank_backends, rank_backends_batched, select_backend, GemmBackend,
+};
 pub use kernels::{gemm_autovec, gemm_autovec_batched, gemm_naive, Gemm, Isa};
 pub use spec::{GemmBatch, GemmSpec};

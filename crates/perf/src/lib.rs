@@ -14,7 +14,10 @@
 //! * [`footprint`] — the `O(N^{d+1} m d)` vs `O(N^d m)` temporary-storage
 //!   analysis of Sec. IV-A,
 //! * [`roofline`] — measured-peak calibration for the "% of available
-//!   performance" metric (upper panels of Figs. 4, 6, 10).
+//!   performance" metric (upper panels of Figs. 4, 6, 10),
+//! * [`tuner`] — autotuning substrate: scaled cache simulation, the
+//!   block-pipeline cost model and the micro-probe timer behind the
+//!   plan-time tuner in `aderdg-core`.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +29,11 @@ pub mod footprint;
 pub mod roofline;
 pub mod stall;
 pub mod trace;
+pub mod tuner;
 
 pub use cachesim::{CacheConfig, CacheSim, CacheStats, LevelStats, LINE_BYTES};
 pub use flops::{classify_loop, classify_padded_loop, PackCounts};
 pub use roofline::{fma_burn, measure_peak_gflops, PerfMeasurement};
 pub use stall::MachineModel;
 pub use trace::{Arena, CountingSink, RecordingSink, TraceSink};
+pub use tuner::{best_candidate, probe_median_secs, BlockCostModel, Candidate, ScaledCacheSim};

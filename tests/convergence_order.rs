@@ -1,0 +1,76 @@
+//! Convergence-order golden test: the ADER-DG scheme attains its design
+//! order on mesh refinement.
+//!
+//! Promotes the `examples/convergence.rs` study into asserted tier-1
+//! coverage: multi-component linear advection of a smooth sine profile on
+//! successively refined periodic meshes, orders 2–5, with the observed L2
+//! rate required to reach the design order (minus a 0.8 asymptotic
+//! margin). Low orders need finer meshes to reach the asymptotic regime;
+//! high orders hit round-off there — so each order measures its rate on
+//! the appropriate refinement step, exactly as in the example.
+
+use aderdg::core::{Engine, EngineConfig, KernelVariant};
+use aderdg::mesh::StructuredMesh;
+use aderdg::pde::{AdvectedSine, AdvectionSystem, ExactSolution};
+
+fn l2_error(order: usize, cells: usize) -> f64 {
+    let velocity = [0.7, 0.4, 0.2];
+    let pde = AdvectionSystem::new(3, velocity);
+    let exact = AdvectedSine {
+        n_vars: 3,
+        velocity,
+        wave: [1.0, 0.0, 0.0],
+    };
+    let mesh = StructuredMesh::unit_cube(cells);
+    let mut engine = Engine::new(
+        mesh,
+        pde,
+        EngineConfig::new(order).with_variant(KernelVariant::SplitCk),
+    );
+    engine.set_initial(|x, q| exact.evaluate(x, 0.0, q));
+    engine.run_until(0.1);
+    engine.l2_error(&exact)
+}
+
+/// Observed rate `log2(e_coarse / e_fine)` for one halving of the mesh
+/// width at the refinement step appropriate for the order.
+fn observed_rate(order: usize) -> (f64, f64, f64) {
+    let e2 = l2_error(order, 2);
+    let e4 = l2_error(order, 4);
+    if order <= 3 {
+        let e8 = l2_error(order, 8);
+        (e4, e8, (e4 / e8).log2())
+    } else {
+        (e2, e4, (e2 / e4).log2())
+    }
+}
+
+#[test]
+fn orders_2_and_3_converge_at_design_rate() {
+    for order in [2usize, 3] {
+        let (coarse, fine, rate) = observed_rate(order);
+        assert!(
+            fine < coarse,
+            "order {order}: refinement must reduce the error ({coarse} -> {fine})"
+        );
+        assert!(
+            rate > order as f64 - 0.8,
+            "order {order}: observed rate {rate:.2} below design order"
+        );
+    }
+}
+
+#[test]
+fn orders_4_and_5_converge_at_design_rate() {
+    for order in [4usize, 5] {
+        let (coarse, fine, rate) = observed_rate(order);
+        assert!(
+            fine < coarse,
+            "order {order}: refinement must reduce the error ({coarse} -> {fine})"
+        );
+        assert!(
+            rate > order as f64 - 0.8,
+            "order {order}: observed rate {rate:.2} below design order"
+        );
+    }
+}
