@@ -23,18 +23,11 @@
 //! clean per-cell timings).
 
 use aderdg_bench::block_sweep::{plateau, sweep_kernel};
+use aderdg_bench::env_usize;
 use aderdg_core::tune::{best_predicted_block_size, model_block_candidates, BLOCK_CANDIDATES};
 use aderdg_core::{auto_block_size, Engine, EngineConfig, KernelRegistry, StpConfig, StpPlan};
 use aderdg_mesh::StructuredMesh;
 use aderdg_pde::{Acoustic, LinearPde};
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
-}
 
 fn main() {
     let order = env_usize("ADERDG_BLOCK_ORDER", 5);

@@ -1,0 +1,94 @@
+//! `step_scaling` — engine step time of the barrier vs the sharded
+//! pipeline across worker-thread counts.
+//!
+//! The sharded pipeline halves the interior Riemann solves and removes
+//! the global predictor→corrector barrier, so it should be no slower at
+//! one thread and faster once several workers can overlap a shard's face
+//! sweep with its neighbours' predictors. This binary prints both paths
+//! side by side, per thread count.
+//!
+//! Environment knobs:
+//!
+//! * `ADERDG_ORDER` — scheme order (default 5)
+//! * `ADERDG_CELLS` — cells per dimension (default 6)
+//! * `ADERDG_STEPS` — timed steps per configuration (default 5)
+//! * `ADERDG_SCALING_THREADS` — comma-separated thread counts
+//!   (default `1,2,4,8`)
+//! * `ADERDG_SMOKE=1` — tiny configuration for CI smoke runs (order 3,
+//!   3³ cells, 2 steps, threads 1,2)
+
+use aderdg_bench::env_usize;
+use aderdg_core::{par, Engine, EngineConfig, PipelineMode, TuningMode};
+use aderdg_mesh::StructuredMesh;
+use aderdg_pde::{Acoustic, AcousticPlaneWave, ExactSolution};
+use std::time::Instant;
+
+/// Median step time in microseconds per cell.
+fn measure(pipeline: PipelineMode, order: usize, cells_per_dim: usize, steps: usize) -> f64 {
+    let wave = AcousticPlaneWave {
+        direction: [1.0, 0.0, 0.0],
+        amplitude: 1.0,
+        wavenumber: 1.0,
+        rho: 1.0,
+        bulk: 1.0,
+    };
+    let mesh = StructuredMesh::unit_cube(cells_per_dim);
+    let cells = mesh.num_cells();
+    let config = EngineConfig::new(order)
+        .with_tuning(TuningMode::Static)
+        .with_pipeline(pipeline);
+    let mut engine = Engine::new(mesh, Acoustic, config);
+    engine.set_initial(|x, q| {
+        wave.evaluate(x, 0.0, q);
+        Acoustic::set_params(q, 1.0, 1.0);
+    });
+    let dt = engine.max_dt();
+    engine.step(dt); // warm-up: scratch allocation, page faults
+    let mut times = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let t0 = Instant::now();
+        engine.step(dt);
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2] * 1e6 / cells as f64
+}
+
+fn main() {
+    let smoke = std::env::var("ADERDG_SMOKE").is_ok_and(|v| v == "1");
+    let (order, cells_per_dim, steps, threads) = if smoke {
+        (3, 3, 2, vec![1, 2])
+    } else {
+        let threads = std::env::var("ADERDG_SCALING_THREADS")
+            .unwrap_or_else(|_| "1,2,4,8".into())
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect();
+        (
+            env_usize("ADERDG_ORDER", 5),
+            env_usize("ADERDG_CELLS", 6),
+            env_usize("ADERDG_STEPS", 5),
+            threads,
+        )
+    };
+    let cells = cells_per_dim * cells_per_dim * cells_per_dim;
+
+    println!("\n=== step_scaling: barrier vs sharded pipeline ===");
+    println!("order {order}, {cells} cells ({cells_per_dim}^3), median of {steps} steps");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "threads", "barrier µs/cell", "sharded µs/cell", "speedup"
+    );
+    for &t in &threads {
+        par::set_num_threads(t);
+        let barrier = measure(PipelineMode::Barrier, order, cells_per_dim, steps);
+        let sharded = measure(PipelineMode::Sharded, order, cells_per_dim, steps);
+        println!(
+            "{:>8} {:>16.3} {:>16.3} {:>9.2}x",
+            t,
+            barrier,
+            sharded,
+            barrier / sharded
+        );
+    }
+}

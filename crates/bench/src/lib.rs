@@ -22,6 +22,17 @@ use std::time::Instant;
 /// Quantities of the paper's elastic benchmark.
 pub const M_ELASTIC: usize = 21;
 
+/// Parses a positive integer knob from the environment, falling back to
+/// `default` when unset, unparsable or zero (shared by the bench
+/// binaries' size/step knobs).
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
 /// Orders evaluated in the paper's figures.
 pub fn paper_orders() -> Vec<usize> {
     match std::env::var("ADERDG_ORDERS") {

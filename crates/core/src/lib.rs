@@ -25,7 +25,7 @@ pub mod traces;
 pub mod tune;
 
 pub use block::{BlockInputs, CellBlock};
-pub use engine::{auto_block_size, Engine, EngineConfig, Receiver};
+pub use engine::{auto_block_size, auto_shard_size, Engine, EngineConfig, PipelineMode, Receiver};
 pub use kernels::{StpInputs, StpKernel, StpOutputs, StpScratch};
 pub use plan::{CellSource, KernelVariant, StpConfig, StpPlan};
 pub use registry::KernelRegistry;

@@ -13,6 +13,40 @@
 use crate::plan::StpPlan;
 use aderdg_mesh::BoundaryKind;
 use aderdg_pde::LinearPde;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Debug-build Riemann-solve counter (release builds compile the
+/// increment away).
+static FLUX_SOLVES: AtomicUsize = AtomicUsize::new(0);
+
+/// True when [`flux_solve_count`] actually counts (debug builds only —
+/// release builds skip the atomic increment in the hot face sweep).
+pub const fn flux_solve_counting_enabled() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// Number of [`rusanov_face`] invocations since the last
+/// [`reset_flux_solve_count`] (process-global; boundary faces count one
+/// solve each, because [`boundary_face`] resolves through
+/// [`rusanov_face`]). Always `0` in release builds — check
+/// [`flux_solve_counting_enabled`]. This is the measurement behind the
+/// once-per-face contract: a cell-centric corrector performs `6 · cells`
+/// solves per step, the face-indexed sweep `interior + boundary` faces.
+pub fn flux_solve_count() -> usize {
+    FLUX_SOLVES.load(Ordering::Relaxed)
+}
+
+/// Resets [`flux_solve_count`] to zero.
+pub fn reset_flux_solve_count() {
+    FLUX_SOLVES.store(0, Ordering::Relaxed);
+}
+
+#[inline]
+fn count_flux_solve() {
+    if flux_solve_counting_enabled() {
+        FLUX_SOLVES.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// Computes the Rusanov flux for one interior face of normal dimension `d`.
 ///
@@ -29,6 +63,7 @@ pub fn rusanov_face(
     f_r: &[f64],
     f_star: &mut [f64],
 ) {
+    count_flux_solve();
     let n = plan.n();
     let vars = pde.num_vars();
     let mf_pad = plan.face.m_pad();
@@ -51,6 +86,9 @@ pub struct BoundaryScratch {
     pub q_ghost: Vec<f64>,
     /// Ghost flux face tensor.
     pub f_ghost: Vec<f64>,
+    /// Pointwise flux evaluation buffer (`m` quantities) — owned here so
+    /// the hot corrector loop never allocates per boundary face.
+    flux: Vec<f64>,
 }
 
 impl BoundaryScratch {
@@ -59,6 +97,7 @@ impl BoundaryScratch {
         Self {
             q_ghost: vec![0.0; plan.face.len()],
             f_ghost: vec![0.0; plan.face.len()],
+            flux: vec![0.0; plan.m()],
         }
     }
 }
@@ -102,12 +141,11 @@ pub fn boundary_face(
             }
         }
         BoundaryKind::Reflective => {
-            let mut flux = vec![0.0; m];
             for node in 0..n * n {
                 let o = node * mf_pad;
                 pde.reflective_ghost(d, outward, &q_in[o..o + m], &mut scratch.q_ghost[o..o + m]);
-                pde.flux(d, &scratch.q_ghost[o..o + m], &mut flux);
-                scratch.f_ghost[o..o + m].copy_from_slice(&flux);
+                pde.flux(d, &scratch.q_ghost[o..o + m], &mut scratch.flux);
+                scratch.f_ghost[o..o + m].copy_from_slice(&scratch.flux);
             }
         }
     }

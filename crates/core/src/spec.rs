@@ -16,9 +16,11 @@
 //! cfl        = 0.4
 //! block_size = auto
 //! tuning     = model
+//! pipeline   = sharded
+//! shard_size = auto
 //! ```
 
-use crate::engine::EngineConfig;
+use crate::engine::{EngineConfig, PipelineMode};
 use crate::kernels::StpKernel;
 use crate::registry::KernelRegistry;
 use crate::tune::TuningMode;
@@ -65,6 +67,15 @@ pub struct SolverSpec {
     /// the hermetic choice for CI; `probe` times real kernels on the
     /// host.
     pub tuning: TuningMode,
+    /// Step pipeline (`barrier` | `sharded`; defaults to the process
+    /// default, i.e. `ADERDG_PIPELINE` or `sharded`). `sharded` solves
+    /// each interior face's Riemann problem once and pipelines shards
+    /// with no global barrier; `barrier` is the seed cell-centric
+    /// baseline.
+    pub pipeline: PipelineMode,
+    /// Cells per shard of the sharded pipeline (`None` = automatic, spec
+    /// value `auto`).
+    pub shard_size: Option<usize>,
 }
 
 impl std::fmt::Debug for SolverSpec {
@@ -77,6 +88,8 @@ impl std::fmt::Debug for SolverSpec {
             .field("cfl", &self.cfl)
             .field("block_size", &self.block_size)
             .field("tuning", &self.tuning)
+            .field("pipeline", &self.pipeline)
+            .field("shard_size", &self.shard_size)
             .finish()
     }
 }
@@ -92,6 +105,8 @@ impl PartialEq for SolverSpec {
             && self.cfl == other.cfl
             && self.block_size == other.block_size
             && self.tuning == other.tuning
+            && self.pipeline == other.pipeline
+            && self.shard_size == other.shard_size
     }
 }
 
@@ -107,6 +122,8 @@ impl Default for SolverSpec {
             cfl: 0.4,
             block_size: None,
             tuning: TuningMode::default(),
+            pipeline: PipelineMode::default_from_env(),
+            shard_size: None,
         }
     }
 }
@@ -191,6 +208,20 @@ impl SolverSpec {
                         err(format!("unknown tuning `{value}` (static|model|probe)"))
                     })?;
                 }
+                "pipeline" => {
+                    spec.pipeline = PipelineMode::parse(value).ok_or_else(|| {
+                        err(format!("unknown pipeline `{value}` (barrier|sharded)"))
+                    })?;
+                }
+                "shard_size" => {
+                    spec.shard_size =
+                        match value {
+                            "auto" => None,
+                            v => Some(v.parse::<usize>().ok().filter(|&b| b >= 1).ok_or_else(
+                                || err(format!("invalid shard_size `{v}` (auto or integer >= 1)")),
+                            )?),
+                        };
+                }
                 other => {
                     return Err(err(format!("unknown key `{other}`")));
                 }
@@ -223,6 +254,8 @@ impl SolverSpec {
         cfg.cfl = self.cfl;
         cfg.block_size = self.block_size;
         cfg.tuning = self.tuning;
+        cfg.pipeline = self.pipeline;
+        cfg.shard_size = self.shard_size;
         cfg
     }
 }
@@ -270,6 +303,41 @@ mod tests {
         }
         let e = SolverSpec::parse("tuning = lucky\n").unwrap_err();
         assert!(e.message.contains("static|model|probe"));
+    }
+
+    #[test]
+    fn pipeline_parses_and_rejects_unknown() {
+        for (text, mode) in [
+            ("pipeline = barrier\n", PipelineMode::Barrier),
+            ("pipeline = sharded\n", PipelineMode::Sharded),
+        ] {
+            let spec = SolverSpec::parse(text).unwrap();
+            assert_eq!(spec.pipeline, mode);
+            assert_eq!(spec.engine_config().pipeline, mode);
+        }
+        let e = SolverSpec::parse("pipeline = warp\n").unwrap_err();
+        assert!(e.message.contains("barrier|sharded"));
+    }
+
+    #[test]
+    fn shard_size_auto_and_rejects_invalid() {
+        assert_eq!(
+            SolverSpec::parse("shard_size = auto\n").unwrap().shard_size,
+            None
+        );
+        assert_eq!(
+            SolverSpec::parse("shard_size = 12\n").unwrap().shard_size,
+            Some(12)
+        );
+        assert_eq!(
+            SolverSpec::parse("shard_size = 12\n")
+                .unwrap()
+                .engine_config()
+                .shard_size,
+            Some(12)
+        );
+        assert!(SolverSpec::parse("shard_size = 0\n").is_err());
+        assert!(SolverSpec::parse("shard_size = many\n").is_err());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 #![warn(missing_docs)]
 
 pub mod curvilinear;
+pub mod shard;
 pub mod structured;
 
 pub use curvilinear::{invert3, CurvilinearMap, IdentityMap, InterfaceFittedMap, SineDeformation};
+pub use shard::{FaceTopo, ShardPlan};
 pub use structured::{BoundaryKind, Face, Neighbor, StructuredMesh};

@@ -1,0 +1,438 @@
+//! Shard partitioning and the canonical once-per-face enumeration.
+//!
+//! The corrector needs exactly one Riemann solve per face per time step
+//! (paper eq. 5). A cell-centric corrector visits every interior face
+//! twice — once from each adjacent cell — doubling the flux work. This
+//! module gives a face its own identity: [`ShardPlan`] enumerates every
+//! distinct face of a [`StructuredMesh`] exactly once (an interior face is
+//! the *lower* cell's upper side; periodic wraps count as interior), and
+//! partitions the cells into **shards** — contiguous flat-index ranges —
+//! with each face owned by exactly one shard.
+//!
+//! On top of the ownership map the plan precomputes the dependency sets a
+//! pipelined engine step needs:
+//!
+//! * [`flux_deps`](ShardPlan::flux_deps) — which shards' *predictors* must
+//!   have run before a shard's owned faces can be flux-resolved (the owner
+//!   itself plus every shard holding a cell across one of its faces);
+//! * [`apply_deps`](ShardPlan::apply_deps) — which shards' *face sweeps*
+//!   must have run before a shard's cells can apply their six face
+//!   corrections (the owners of all faces its cells touch).
+//!
+//! Both sets are sorted and deduplicated, so a scheduler can turn them
+//! directly into ready-counter edges. Face ids owned by one shard are
+//! contiguous ([`owned_faces`](ShardPlan::owned_faces)), which lets the
+//! engine back each shard's fluxes with one dense buffer slice.
+
+use crate::structured::{BoundaryKind, Face, Neighbor, StructuredMesh};
+use std::ops::Range;
+
+/// Topology of one canonical mesh face.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaceTopo {
+    /// Interior (or periodic-wrapped) face of normal dimension `dim`:
+    /// `lower`'s upper side touches `upper`'s lower side. On a periodic
+    /// dimension of extent 1, `lower == upper` (the cell couples to
+    /// itself through one face serving both of its slots).
+    Interior {
+        /// Normal dimension.
+        dim: usize,
+        /// Cell whose upper face (side 1) this is.
+        lower: usize,
+        /// Cell whose lower face (side 0) this is.
+        upper: usize,
+    },
+    /// Domain-boundary face of `cell`.
+    Boundary {
+        /// Normal dimension.
+        dim: usize,
+        /// The cell the face belongs to.
+        cell: usize,
+        /// 0 = the cell's lower face, 1 = its upper face.
+        side: usize,
+        /// Boundary behaviour.
+        kind: BoundaryKind,
+    },
+}
+
+/// Sentinel for a not-yet-assigned face slot during construction.
+const UNSET: usize = usize::MAX;
+
+/// A shard partition of a structured mesh with a canonical face index.
+///
+/// Shards are contiguous cell ranges of (at most) `shard_size` cells;
+/// the last shard may be shorter. Every distinct face of the mesh gets
+/// one id; ids are grouped so each shard's owned faces are contiguous.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shard_size: usize,
+    num_cells: usize,
+    num_shards: usize,
+    /// Canonical faces, ordered by owner shard (then by owner cell, then
+    /// by the cell's slot order).
+    faces: Vec<FaceTopo>,
+    /// `(cell, slot 0..6)` → canonical face id, slot order as
+    /// [`Face::ALL`].
+    cell_faces: Vec<[usize; 6]>,
+    /// Owned-face ranges: shard `s` owns ids
+    /// `face_start[s]..face_start[s + 1]`.
+    face_start: Vec<usize>,
+    /// Sorted, deduplicated predictor dependencies of each shard's face
+    /// sweep (always contains the shard itself).
+    flux_deps: Vec<Vec<usize>>,
+    /// Sorted, deduplicated face-sweep dependencies of each shard's
+    /// correction application (always contains the shard itself).
+    apply_deps: Vec<Vec<usize>>,
+    interior_faces: usize,
+    boundary_faces: usize,
+}
+
+impl ShardPlan {
+    /// Partitions `mesh` into shards of `shard_size` contiguous cells and
+    /// builds the canonical face index.
+    ///
+    /// # Panics
+    /// If `shard_size` is zero.
+    pub fn new(mesh: &StructuredMesh, shard_size: usize) -> Self {
+        assert!(shard_size >= 1, "shard size must be at least 1");
+        let num_cells = mesh.num_cells();
+        let num_shards = num_cells.div_ceil(shard_size);
+        let shard_of = |cell: usize| cell / shard_size;
+
+        let mut faces = Vec::with_capacity(3 * num_cells);
+        let mut cell_faces = vec![[UNSET; 6]; num_cells];
+        let mut face_start = Vec::with_capacity(num_shards + 1);
+        let mut interior_faces = 0;
+        let mut boundary_faces = 0;
+
+        // One pass in cell order. A face is created at its owner cell's
+        // visit: interior faces at their lower cell (slot side 1),
+        // boundary faces at their only cell. Cells ascend, so the ids of
+        // one shard's owned faces come out contiguous.
+        for c in 0..num_cells {
+            if c % shard_size == 0 {
+                face_start.push(faces.len());
+            }
+            for face in Face::ALL {
+                let slot = face.index();
+                match mesh.neighbor(c, face) {
+                    Neighbor::Cell(nb) => {
+                        if face.side == 1 {
+                            let id = faces.len();
+                            faces.push(FaceTopo::Interior {
+                                dim: face.dim,
+                                lower: c,
+                                upper: nb,
+                            });
+                            interior_faces += 1;
+                            cell_faces[c][slot] = id;
+                            // The same face is the neighbour's lower slot.
+                            // On a periodic dimension of extent 1 the
+                            // neighbour is `c` itself and this fills the
+                            // cell's own slot 2·dim.
+                            cell_faces[nb][face.opposite().index()] = id;
+                        }
+                        // side 0 interior slots are filled by the lower
+                        // cell's visit (above).
+                    }
+                    Neighbor::Boundary(kind) => {
+                        let id = faces.len();
+                        faces.push(FaceTopo::Boundary {
+                            dim: face.dim,
+                            cell: c,
+                            side: face.side,
+                            kind,
+                        });
+                        boundary_faces += 1;
+                        cell_faces[c][slot] = id;
+                    }
+                }
+            }
+        }
+        face_start.push(faces.len());
+        debug_assert_eq!(face_start.len(), num_shards + 1);
+        debug_assert!(
+            cell_faces.iter().all(|f| f.iter().all(|&id| id != UNSET)),
+            "every cell slot must map to a canonical face"
+        );
+
+        // Dependency sets from the ownership map.
+        let mut flux_deps: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        let mut apply_deps: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for s in 0..num_shards {
+            let deps = &mut flux_deps[s];
+            for id in face_start[s]..face_start[s + 1] {
+                match faces[id] {
+                    FaceTopo::Interior { lower, upper, .. } => {
+                        deps.push(shard_of(lower));
+                        deps.push(shard_of(upper));
+                    }
+                    FaceTopo::Boundary { cell, .. } => deps.push(shard_of(cell)),
+                }
+            }
+            deps.sort_unstable();
+            deps.dedup();
+        }
+        for (c, slots) in cell_faces.iter().enumerate() {
+            let s = shard_of(c);
+            for &id in slots {
+                // Owner shard of a face id via its contiguous range.
+                let owner = face_start.partition_point(|&start| start <= id) - 1;
+                apply_deps[s].push(owner);
+            }
+        }
+        for deps in &mut apply_deps {
+            deps.sort_unstable();
+            deps.dedup();
+        }
+
+        Self {
+            shard_size,
+            num_cells,
+            num_shards,
+            faces,
+            cell_faces,
+            face_start,
+            flux_deps,
+            apply_deps,
+            interior_faces,
+            boundary_faces,
+        }
+    }
+
+    /// Cells per shard (the last shard may hold fewer).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of cells of the underlying mesh.
+    pub fn num_cells(&self) -> usize {
+        self.num_cells
+    }
+
+    /// The contiguous cell range of shard `s`.
+    pub fn shard_range(&self, s: usize) -> Range<usize> {
+        let start = s * self.shard_size;
+        start..((start + self.shard_size).min(self.num_cells))
+    }
+
+    /// The shard containing `cell`.
+    pub fn shard_of(&self, cell: usize) -> usize {
+        debug_assert!(cell < self.num_cells);
+        cell / self.shard_size
+    }
+
+    /// Total number of canonical faces (interior + boundary).
+    pub fn num_faces(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Number of distinct interior faces (periodic wraps included).
+    pub fn num_interior_faces(&self) -> usize {
+        self.interior_faces
+    }
+
+    /// Number of domain-boundary faces.
+    pub fn num_boundary_faces(&self) -> usize {
+        self.boundary_faces
+    }
+
+    /// Topology of face `id`.
+    pub fn face(&self, id: usize) -> FaceTopo {
+        self.faces[id]
+    }
+
+    /// The canonical face ids of a cell's six slots, in [`Face::ALL`]
+    /// order.
+    pub fn cell_faces(&self, cell: usize) -> &[usize; 6] {
+        &self.cell_faces[cell]
+    }
+
+    /// The contiguous face-id range owned by shard `s`.
+    pub fn owned_faces(&self, s: usize) -> Range<usize> {
+        self.face_start[s]..self.face_start[s + 1]
+    }
+
+    /// The shard owning face `id`.
+    pub fn face_owner(&self, id: usize) -> usize {
+        debug_assert!(id < self.faces.len());
+        self.face_start.partition_point(|&start| start <= id) - 1
+    }
+
+    /// Shards whose predictors gate shard `s`'s face sweep (sorted,
+    /// deduplicated, contains `s`).
+    pub fn flux_deps(&self, s: usize) -> &[usize] {
+        &self.flux_deps[s]
+    }
+
+    /// Shards whose face sweeps gate shard `s`'s correction application
+    /// (sorted, deduplicated, contains `s`).
+    pub fn apply_deps(&self, s: usize) -> &[usize] {
+        &self.apply_deps[s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_cube_counts_one_face_per_interior_pair() {
+        let mesh = StructuredMesh::unit_cube(3);
+        let plan = ShardPlan::new(&mesh, 4);
+        // Fully periodic: 3 faces per cell, no boundary.
+        assert_eq!(plan.num_interior_faces(), 3 * 27);
+        assert_eq!(plan.num_boundary_faces(), 0);
+        assert_eq!(plan.num_faces(), 81);
+        assert_eq!(plan.num_shards(), 7);
+        assert_eq!(plan.shard_range(6), 24..27);
+    }
+
+    #[test]
+    fn mixed_boundary_counts() {
+        let mesh = StructuredMesh::new(
+            [3, 2, 2],
+            [0.0; 3],
+            [1.0; 3],
+            [
+                BoundaryKind::Outflow,
+                BoundaryKind::Reflective,
+                BoundaryKind::Periodic,
+            ],
+        );
+        let plan = ShardPlan::new(&mesh, 5);
+        // x: 2 interior planes of 4 faces; y: 1 plane of 6; z: 2 periodic
+        // planes of 6.
+        assert_eq!(plan.num_interior_faces(), 2 * 4 + 6 + 2 * 6);
+        // x: 2 boundary planes of 4; y: 2 of 6; z: none.
+        assert_eq!(plan.num_boundary_faces(), 2 * 4 + 2 * 6);
+        assert_eq!(
+            plan.num_faces(),
+            plan.num_interior_faces() + plan.num_boundary_faces()
+        );
+    }
+
+    #[test]
+    fn slots_agree_across_interior_faces() {
+        let mesh = StructuredMesh::new(
+            [3, 3, 2],
+            [0.0; 3],
+            [1.0; 3],
+            [
+                BoundaryKind::Periodic,
+                BoundaryKind::Outflow,
+                BoundaryKind::Reflective,
+            ],
+        );
+        let plan = ShardPlan::new(&mesh, 4);
+        for c in 0..mesh.num_cells() {
+            for face in Face::ALL {
+                let id = plan.cell_faces(c)[face.index()];
+                match (mesh.neighbor(c, face), plan.face(id)) {
+                    (Neighbor::Cell(nb), FaceTopo::Interior { dim, lower, upper }) => {
+                        assert_eq!(dim, face.dim);
+                        // Same id from both sides.
+                        assert_eq!(plan.cell_faces(nb)[face.opposite().index()], id);
+                        if face.side == 1 {
+                            assert_eq!((lower, upper), (c, nb));
+                        } else {
+                            assert_eq!((lower, upper), (nb, c));
+                        }
+                    }
+                    (
+                        Neighbor::Boundary(bk),
+                        FaceTopo::Boundary {
+                            dim,
+                            cell,
+                            side,
+                            kind,
+                        },
+                    ) => {
+                        assert_eq!((dim, cell, side), (face.dim, c, face.side));
+                        assert_eq!(kind, bk);
+                    }
+                    (nb, topo) => panic!("slot/face mismatch: {nb:?} vs {topo:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extent_one_periodic_dimension_self_couples_through_one_face() {
+        let mesh = StructuredMesh::new([1, 1, 2], [0.0; 3], [1.0; 3], [BoundaryKind::Periodic; 3]);
+        let plan = ShardPlan::new(&mesh, 1);
+        // Per cell: one self-face in x, one in y; z has two cells, two
+        // periodic planes → 2 faces shared between them.
+        assert_eq!(plan.num_interior_faces(), 2 * 2 + 2);
+        for c in 0..2 {
+            let slots = plan.cell_faces(c);
+            // Lower and upper slot of a self-coupled dimension are the
+            // same canonical face.
+            assert_eq!(slots[0], slots[1]);
+            assert_eq!(slots[2], slots[3]);
+            assert_ne!(slots[4], slots[5]);
+        }
+    }
+
+    #[test]
+    fn ownership_is_contiguous_and_deps_contain_self() {
+        let mesh = StructuredMesh::unit_cube(4);
+        let plan = ShardPlan::new(&mesh, 7);
+        let mut seen = 0;
+        for s in 0..plan.num_shards() {
+            let owned = plan.owned_faces(s);
+            assert_eq!(owned.start, seen, "owned ranges must tile the ids");
+            seen = owned.end;
+            for id in owned {
+                assert_eq!(plan.face_owner(id), s);
+                // The owner is the lower/only cell's shard.
+                let owner_cell = match plan.face(id) {
+                    FaceTopo::Interior { lower, .. } => lower,
+                    FaceTopo::Boundary { cell, .. } => cell,
+                };
+                assert_eq!(plan.shard_of(owner_cell), s);
+            }
+            assert!(plan.flux_deps(s).contains(&s));
+            assert!(plan.apply_deps(s).contains(&s));
+            assert!(plan.flux_deps(s).windows(2).all(|w| w[0] < w[1]));
+            assert!(plan.apply_deps(s).windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(seen, plan.num_faces());
+    }
+
+    #[test]
+    fn apply_deps_cover_every_touched_face_owner() {
+        let mesh = StructuredMesh::new(
+            [4, 2, 3],
+            [0.0; 3],
+            [1.0; 3],
+            [
+                BoundaryKind::Outflow,
+                BoundaryKind::Periodic,
+                BoundaryKind::Reflective,
+            ],
+        );
+        let plan = ShardPlan::new(&mesh, 3);
+        for s in 0..plan.num_shards() {
+            for c in plan.shard_range(s) {
+                for &id in plan.cell_faces(c) {
+                    assert!(
+                        plan.apply_deps(s).contains(&plan.face_owner(id)),
+                        "shard {s} cell {c} face {id} owner missing"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard size must be at least 1")]
+    fn zero_shard_size_panics() {
+        ShardPlan::new(&StructuredMesh::unit_cube(2), 0);
+    }
+}

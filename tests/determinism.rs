@@ -1,16 +1,20 @@
 //! Thread-count determinism: `Engine::step` must be bit-identical under
-//! `ADERDG_THREADS = 1`, `4` and `16`.
+//! `ADERDG_THREADS = 1`, `4` and `16` — on **both** pipelines.
 //!
-//! The cell loops in `aderdg::core::par` chunk statically over worker
-//! threads; every cell's predictor and corrector arithmetic is
-//! self-contained (the corrector *reads* neighbour face tensors but only
-//! writes its own cell), and `max_dt`'s parallel reduction is a pure
-//! `max`, which is associative and commutative over non-NaN values. So
-//! the thread count must never leak into results — not even in the last
-//! ulp. This test guards the chunking against accumulation-order drift
-//! (e.g. a future reduction that sums across chunk boundaries).
+//! Barrier path: the cell loops in `aderdg::core::par` chunk statically
+//! over worker threads; every cell's predictor and corrector arithmetic
+//! is self-contained (the corrector *reads* neighbour face tensors but
+//! only writes its own cell), and `max_dt`'s parallel reduction is a
+//! pure `max`, which is associative and commutative over non-NaN values.
+//!
+//! Sharded path: the task *schedule* is thread-count dependent, but every
+//! face flux is computed exactly once by one task from fixed predictor
+//! outputs, and each cell applies its corrections in a fixed order — so
+//! the execution order must never leak into results, not even in the
+//! last ulp. These tests guard both the static chunking and the shard
+//! scheduler against accumulation-order drift.
 
-use aderdg::core::{par, Engine, EngineConfig};
+use aderdg::core::{par, Engine, EngineConfig, PipelineMode};
 use aderdg::mesh::StructuredMesh;
 use aderdg::pde::{Acoustic, PointSource, SourceTimeFunction};
 use std::sync::Mutex;
@@ -21,10 +25,10 @@ static THREAD_KNOB: Mutex<()> = Mutex::new(());
 
 /// Runs a seeded acoustic problem with a point source at the given thread
 /// count and returns the full evolved state, bit-exact.
-fn run(threads: usize, order: usize) -> Vec<u64> {
+fn run_with(threads: usize, config: EngineConfig) -> Vec<u64> {
     par::set_num_threads(threads);
     let mesh = StructuredMesh::unit_cube(3);
-    let mut engine = Engine::new(mesh, Acoustic, EngineConfig::new(order));
+    let mut engine = Engine::new(mesh, Acoustic, config);
     // Smooth deterministic initial data (a function of position only, so
     // every thread count computes identical node values).
     engine.set_initial(|x, q| {
@@ -53,21 +57,20 @@ fn run(threads: usize, order: usize) -> Vec<u64> {
         .collect()
 }
 
-#[test]
-fn step_results_bit_identical_across_thread_counts() {
-    let _guard = THREAD_KNOB.lock().unwrap();
-    let before = par::num_threads();
-    let reference = run(1, 3);
+/// Asserts `config` produces bit-identical evolved states at 1, 4 and 16
+/// worker threads.
+fn assert_thread_invariant(config: EngineConfig, label: &str) {
+    let reference = run_with(1, config);
     assert!(
         reference.iter().any(|&b| b != 0),
-        "the run must actually evolve data"
+        "{label}: the run must actually evolve data"
     );
     for threads in [4, 16] {
-        let result = run(threads, 3);
+        let result = run_with(threads, config);
         assert_eq!(
             result.len(),
             reference.len(),
-            "state layout changed with thread count {threads}"
+            "{label}: state layout changed with thread count {threads}"
         );
         let diffs = result
             .iter()
@@ -76,7 +79,35 @@ fn step_results_bit_identical_across_thread_counts() {
             .count();
         assert_eq!(
             diffs, 0,
-            "{diffs} doubles differ between 1 and {threads} threads"
+            "{label}: {diffs} doubles differ between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn step_results_bit_identical_across_thread_counts() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let before = par::num_threads();
+    assert_thread_invariant(
+        EngineConfig::new(3).with_pipeline(PipelineMode::Barrier),
+        "barrier",
+    );
+    par::set_num_threads(before);
+}
+
+#[test]
+fn sharded_step_bit_identical_across_thread_counts() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let before = par::num_threads();
+    // Auto shard size plus explicit sizes that split the 27-cell mesh
+    // into many shards (worst case for schedule-dependent ordering) and
+    // one-shard / uneven-tail partitions.
+    let base = EngineConfig::new(3).with_pipeline(PipelineMode::Sharded);
+    assert_thread_invariant(base, "sharded(auto)");
+    for shard_size in [2, 5, 27] {
+        assert_thread_invariant(
+            base.with_shard_size(shard_size),
+            &format!("sharded({shard_size})"),
         );
     }
     par::set_num_threads(before);

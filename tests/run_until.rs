@@ -1,0 +1,83 @@
+//! Regression tests for `Engine::run_until` across target magnitudes.
+//!
+//! The seed judged termination with an *absolute* epsilon
+//! (`time < t_end - 1e-14`). For large `t_end` the subtraction is a no-op
+//! in f64 (`1e3 - 1e-14 == 1e3`), so the loop chased sub-resolution
+//! remainders with degenerate clipped steps. `run_until` now uses a
+//! tolerance relative to `t_end` and clamps the last step; these tests pin
+//! the step count and termination at `t_end` spanning six orders of
+//! magnitude.
+
+use aderdg::core::{Engine, EngineConfig};
+use aderdg::mesh::StructuredMesh;
+use aderdg::pde::AdvectionSystem;
+
+/// A one-cell periodic advection engine with a tiny wave speed, so even
+/// `t_end = 1e3` takes only a handful of CFL steps.
+fn slow_engine() -> Engine<AdvectionSystem> {
+    let mesh = StructuredMesh::unit_cube(1);
+    let pde = AdvectionSystem::new(1, [1e-3, 0.0, 0.0]);
+    let mut engine = Engine::new(mesh, pde, EngineConfig::new(2));
+    engine.set_initial(|x, q| q[0] = (x[0] - 0.3) * (x[1] + 0.2));
+    engine
+}
+
+#[test]
+fn reaches_targets_across_magnitudes_with_expected_step_count() {
+    for t_end in [1e-3, 1.0, 1e3] {
+        let mut engine = slow_engine();
+        let dt_max = engine.max_dt();
+        assert!(dt_max.is_finite() && dt_max > 0.0);
+        // CFL steps of dt_max, the last one clipped to the remainder.
+        let expected_steps = (t_end / dt_max).ceil() as usize;
+        engine.run_until(t_end);
+        assert_eq!(
+            engine.steps, expected_steps,
+            "t_end={t_end}: wrong step count (stall or extra micro-steps)"
+        );
+        assert_eq!(
+            engine.time, t_end,
+            "t_end={t_end}: clock must land exactly on the target"
+        );
+    }
+}
+
+#[test]
+fn sub_resolution_remainder_terminates_without_stepping() {
+    // One ulp below a large target: the remainder is far inside the
+    // relative tolerance, so the loop must exit immediately (the seed's
+    // absolute epsilon underflowed here and kept stepping).
+    let mut engine = slow_engine();
+    let t_end: f64 = 1e3;
+    engine.time = f64::from_bits(t_end.to_bits() - 1);
+    engine.run_until(t_end);
+    assert_eq!(engine.steps, 0, "no step should fire inside the tolerance");
+    assert_eq!(engine.time, t_end);
+}
+
+#[test]
+fn tolerance_scales_relatively_not_absolutely() {
+    // 1e-10 below 1e3 is within the relative tolerance (1e-9) — done.
+    let mut engine = slow_engine();
+    engine.time = 1e3 - 1e-10;
+    engine.run_until(1e3);
+    assert_eq!(engine.steps, 0);
+    assert_eq!(engine.time, 1e3);
+
+    // The same 1e-10 gap below 1e-3 is *outside* the relative tolerance
+    // (1e-15) and must still be stepped across.
+    let mut engine = slow_engine();
+    engine.time = 1e-3 - 1e-10;
+    engine.run_until(1e-3);
+    assert_eq!(engine.steps, 1, "a genuine remainder still gets a step");
+    assert_eq!(engine.time, 1e-3);
+}
+
+#[test]
+fn past_target_is_a_noop() {
+    let mut engine = slow_engine();
+    engine.time = 2.0;
+    engine.run_until(1.0);
+    assert_eq!(engine.steps, 0);
+    assert_eq!(engine.time, 2.0, "the clock never runs backwards");
+}
