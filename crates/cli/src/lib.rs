@@ -1,0 +1,601 @@
+//! # aderdg-cli
+//!
+//! The `aderdg-run` command-line driver: resolves a scenario from the
+//! [`ScenarioRegistry`], applies solver overrides (every
+//! [`SolverSpec`](aderdg_core::SolverSpec) knob is reachable as a flag or
+//! a `[solver]` config-file key), runs it and reports — no Rust required
+//! to run a new setup.
+//!
+//! ```text
+//! aderdg-run --list
+//! aderdg-run --scenario loh1 --order 4 --kernel aosoa_splitck \
+//!            --pipeline sharded --tuning model --out run.csv
+//! aderdg-run --config run.toml
+//! aderdg-run --smoke-all            # CI gate: every scenario, both pipelines
+//! ```
+//!
+//! The library half exists so the parser and the run plumbing are unit
+//! testable; `src/main.rs` is a thin wrapper around [`run_cli`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod toml;
+
+use aderdg_core::engine::PipelineMode;
+use aderdg_core::scenario::{RunRequest, RunSummary, ScenarioRegistry};
+use aderdg_core::spec::{parse_auto_size, parse_rule, parse_width};
+use aderdg_core::tune::TuningMode;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A user-facing CLI error (bad flag, bad value, failed run); never a
+/// panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CliError {
+    fn new(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aderdg-run: {}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text (`--help`).
+pub const USAGE: &str = "\
+aderdg-run — scenario driver for the aderdg engine
+
+USAGE:
+  aderdg-run --list                      table of registered scenarios
+  aderdg-run --list-names                scenario names only, one per line
+  aderdg-run --scenario <name> [OPTIONS] run one scenario
+  aderdg-run --config <file> [OPTIONS]   run from a TOML config ([run] + [solver]
+                                         tables); flags override file values
+  aderdg-run --smoke-all [--docs <file>] smoke-run every scenario on both
+                                         pipelines and check the gallery doc
+                                         (default docs/SCENARIOS.md)
+  aderdg-run --help
+
+SOLVER OPTIONS (defaults come from the scenario):
+  --order <2..=15>          scheme order
+  --kernel <key>            STP kernel registry key (see README)
+  --cfl <0..0.45]           CFL safety factor
+  --width <sse|avx2|avx512|host>
+  --rule <gauss_legendre|gauss_lobatto>
+  --block-size <n|auto>     predictor block size
+  --tuning <static|model|probe>
+  --pipeline <barrier|sharded>
+  --shard-size <n|auto>     cells per shard (sharded pipeline)
+
+RUN OPTIONS:
+  --cells <n>               cells per axis (uniform override)
+  --t-end <t>               simulated end time
+  --smoke                   tiny grid, 2 steps (CI smoke mode)
+  --out <file>              write the checkpoint time series as CSV
+  --snapshot <file>         write the final nodal state as CSV
+  --receivers <file>        write receiver seismograms as CSV
+";
+
+/// A fully parsed run invocation.
+#[derive(Debug, Clone, Default)]
+pub struct RunArgs {
+    /// Scenario registry key.
+    pub scenario: String,
+    /// Merged overrides handed to [`aderdg_core::scenario::Scenario::run`].
+    pub request: RunRequest,
+    /// Time-series CSV destination.
+    pub out: Option<PathBuf>,
+    /// Receiver-seismogram CSV destination.
+    pub receivers: Option<PathBuf>,
+}
+
+/// What the command line asked for.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `--help`.
+    Help,
+    /// `--list`: the scenario table.
+    List,
+    /// `--list-names`: machine-readable scenario names.
+    ListNames,
+    /// Run one scenario.
+    Run(Box<RunArgs>),
+    /// `--smoke-all`: every scenario × both pipelines + docs gate.
+    SmokeAll {
+        /// Gallery document to check (default `docs/SCENARIOS.md`).
+        docs: PathBuf,
+    },
+}
+
+fn parse_flag_value<T: std::str::FromStr>(
+    flag: &str,
+    value: &str,
+    expected: &str,
+) -> Result<T, CliError> {
+    value.parse().map_err(|_| {
+        CliError::new(format!(
+            "invalid value `{value}` for {flag} (expected {expected})"
+        ))
+    })
+}
+
+/// Applies one solver/run key (shared between CLI flags and config-file
+/// entries; `what` names the source for error messages).
+fn apply_key(req: &mut RunRequest, key: &str, value: &str, what: &str) -> Result<bool, CliError> {
+    let invalid = |expected: &str| {
+        CliError::new(format!(
+            "invalid value `{value}` for {what} (expected {expected})"
+        ))
+    };
+    match key {
+        "order" => req.order = Some(parse_flag_value(what, value, "an integer 2..=15")?),
+        "kernel" => req.kernel = Some(value.to_string()),
+        "cfl" => req.cfl = Some(parse_flag_value(what, value, "a number in (0, 0.45]")?),
+        "width" => {
+            req.width = Some(parse_width(value).ok_or_else(|| invalid("sse|avx2|avx512|host"))?)
+        }
+        "rule" => {
+            req.rule =
+                Some(parse_rule(value).ok_or_else(|| invalid("gauss_legendre|gauss_lobatto"))?)
+        }
+        "block_size" => {
+            req.block_size =
+                Some(parse_auto_size(value).ok_or_else(|| invalid("auto or an integer >= 1"))?)
+        }
+        "tuning" => {
+            req.tuning =
+                Some(TuningMode::parse(value).ok_or_else(|| invalid("static|model|probe"))?)
+        }
+        "pipeline" => {
+            req.pipeline =
+                Some(PipelineMode::parse(value).ok_or_else(|| invalid("barrier|sharded"))?)
+        }
+        "shard_size" => {
+            req.shard_size =
+                Some(parse_auto_size(value).ok_or_else(|| invalid("auto or an integer >= 1"))?)
+        }
+        "cells" => req.cells = Some(parse_flag_value(what, value, "an integer >= 1")?),
+        "t_end" => req.t_end = Some(parse_flag_value(what, value, "a positive number")?),
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Builds a [`RunArgs`] from a parsed config document. Recognized tables:
+/// `[run]` (scenario, cells, t_end, smoke, out, snapshot, receivers) and
+/// `[solver]` (every [`aderdg_core::SolverSpec`] key).
+pub fn args_from_config(doc: &toml::Doc) -> Result<RunArgs, CliError> {
+    let mut args = RunArgs::default();
+    for table in &doc.tables {
+        match table.name.as_str() {
+            "run" => {
+                for e in &table.entries {
+                    let what = format!("[run] {} (line {})", e.key, e.line);
+                    match e.key.as_str() {
+                        "scenario" => args.scenario = e.value.clone(),
+                        "smoke" => {
+                            args.request.smoke = match e.value.as_str() {
+                                "true" => true,
+                                "false" => false,
+                                _ => {
+                                    return Err(CliError::new(format!(
+                                        "invalid value `{}` for {what} (expected true|false)",
+                                        e.value
+                                    )))
+                                }
+                            }
+                        }
+                        "out" => args.out = Some(PathBuf::from(&e.value)),
+                        "snapshot" => args.request.snapshot = Some(PathBuf::from(&e.value)),
+                        "receivers" => args.receivers = Some(PathBuf::from(&e.value)),
+                        "cells" | "t_end" => {
+                            apply_key(&mut args.request, &e.key, &e.value, &what)?;
+                        }
+                        other => {
+                            return Err(CliError::new(format!(
+                                "unknown [run] key `{other}` (line {})",
+                                e.line
+                            )))
+                        }
+                    }
+                }
+            }
+            "solver" => {
+                for e in &table.entries {
+                    let what = format!("[solver] {} (line {})", e.key, e.line);
+                    if !apply_key(&mut args.request, &e.key, &e.value, &what)?
+                        || e.key == "cells"
+                        || e.key == "t_end"
+                    {
+                        return Err(CliError::new(format!(
+                            "unknown [solver] key `{}` (line {})",
+                            e.key, e.line
+                        )));
+                    }
+                }
+            }
+            "" => {
+                let key = &table.entries[0];
+                return Err(CliError::new(format!(
+                    "key `{}` outside any table (line {}) — use [run] or [solver]",
+                    key.key, key.line
+                )));
+            }
+            other => {
+                return Err(CliError::new(format!(
+                    "unknown table `[{other}]` (line {}) — use [run] or [solver]",
+                    table.line
+                )))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Parses a command line (without the program name). Pure and total: any
+/// mistake comes back as a [`CliError`], never a panic.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    if args.is_empty() {
+        return Err(CliError::new(
+            "no arguments; try `aderdg-run --list` or `aderdg-run --help`",
+        ));
+    }
+    let mut scenario: Option<String> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut docs: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut receivers: Option<PathBuf> = None;
+    let mut req = RunRequest::default();
+    let mut mode: Option<&'static str> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::new(format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(Command::Help),
+            "--list" => mode = Some("list"),
+            "--list-names" => mode = Some("list-names"),
+            "--smoke-all" => mode = Some("smoke-all"),
+            "--smoke" => req.smoke = true,
+            "--scenario" => scenario = Some(value_of("--scenario")?),
+            "--config" => config = Some(PathBuf::from(value_of("--config")?)),
+            "--docs" => docs = Some(PathBuf::from(value_of("--docs")?)),
+            "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+            "--snapshot" => req.snapshot = Some(PathBuf::from(value_of("--snapshot")?)),
+            "--receivers" => receivers = Some(PathBuf::from(value_of("--receivers")?)),
+            flag if flag.starts_with("--") => {
+                let key = flag.trim_start_matches("--").replace('-', "_");
+                let value = value_of(flag)?;
+                if !apply_key(&mut req, &key, &value, flag)? {
+                    return Err(CliError::new(format!(
+                        "unknown flag `{flag}` (see `aderdg-run --help`)"
+                    )));
+                }
+            }
+            other => {
+                return Err(CliError::new(format!(
+                    "unexpected argument `{other}` (see `aderdg-run --help`)"
+                )))
+            }
+        }
+    }
+
+    match mode {
+        Some("list") => return Ok(Command::List),
+        Some("list-names") => return Ok(Command::ListNames),
+        Some("smoke-all") => {
+            return Ok(Command::SmokeAll {
+                docs: docs.unwrap_or_else(|| PathBuf::from("docs/SCENARIOS.md")),
+            })
+        }
+        _ => {}
+    }
+
+    // A run: from a config file, a --scenario flag, or both (flags win).
+    let mut run = match &config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::new(format!("cannot read {}: {e}", path.display())))?;
+            let doc = toml::parse(&text)
+                .map_err(|e| CliError::new(format!("{}: {e}", path.display())))?;
+            args_from_config(&doc)?
+        }
+        None => RunArgs::default(),
+    };
+    if let Some(name) = scenario {
+        run.scenario = name;
+    }
+    if run.scenario.is_empty() {
+        return Err(CliError::new(
+            "missing scenario: pass `--scenario <name>` or a config file with `scenario = …` \
+             under [run] (`aderdg-run --list` shows what is registered)",
+        ));
+    }
+    // Flag overrides on top of the config file.
+    merge_requests(&mut run.request, req);
+    if out.is_some() {
+        run.out = out;
+    }
+    if receivers.is_some() {
+        run.receivers = receivers;
+    }
+    Ok(Command::Run(Box::new(run)))
+}
+
+/// Overlays `over` (flag values) onto `base` (config-file values).
+fn merge_requests(base: &mut RunRequest, over: RunRequest) {
+    macro_rules! take {
+        ($($field:ident),*) => {
+            $(if over.$field.is_some() { base.$field = over.$field; })*
+        };
+    }
+    take!(
+        order, kernel, cfl, width, rule, block_size, tuning, pipeline, shard_size, cells, t_end,
+        snapshot
+    );
+    base.smoke |= over.smoke;
+}
+
+/// Renders the `--list` table.
+pub fn render_list() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:<9} {:>5} {:>10} {:>7} {:<14} {:<5}  {}\n",
+        "scenario", "system", "order", "cells", "t_end", "kernel", "exact", "description"
+    ));
+    for scenario in ScenarioRegistry::global().scenarios() {
+        let i = scenario.info();
+        out.push_str(&format!(
+            "{:<20} {:<9} {:>5} {:>10} {:>7} {:<14} {:<5}  {}\n",
+            i.name,
+            i.system,
+            i.order,
+            format!("{}x{}x{}", i.cells[0], i.cells[1], i.cells[2]),
+            i.t_end,
+            i.kernel,
+            if i.has_exact { "yes" } else { "no" },
+            i.title
+        ));
+    }
+    out
+}
+
+/// Renders the human-readable run report.
+pub fn render_summary(s: &RunSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scenario {} [{}]: order {}, {}x{}x{} cells ({}), kernel {}, pipeline {:?}\n",
+        s.scenario,
+        s.system,
+        s.order,
+        s.cells[0],
+        s.cells[1],
+        s.cells[2],
+        s.num_cells,
+        s.kernel,
+        s.pipeline,
+    ));
+    out.push_str(&format!("tune: {}\n", s.tune));
+    out.push_str(&format!(
+        "{} steps to t = {:.6} in {:.3} s ({:.0} cell updates/s)\n",
+        s.steps, s.t_end, s.wall_seconds, s.cell_updates_per_second
+    ));
+    out.push_str(&format!(
+        "{:>10} {:>8} {:>13} {:>13}\n",
+        "t", "steps", "L2 norm", "L2 error"
+    ));
+    for p in &s.series {
+        let err = p
+            .l2_error
+            .map(|e| format!("{e:>13.4e}"))
+            .unwrap_or_else(|| format!("{:>13}", "-"));
+        out.push_str(&format!(
+            "{:>10.4} {:>8} {:>13.6e} {err}\n",
+            p.t, p.steps, p.l2_norm
+        ));
+    }
+    let drift: f64 = s
+        .integrals_initial
+        .iter()
+        .zip(&s.integrals_final)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    out.push_str(&format!(
+        "conserved-quantity drift: max |Δ∫q| = {drift:.3e} over {} quantities\n",
+        s.integrals_final.len()
+    ));
+    if let Some(err) = s.l2_error {
+        out.push_str(&format!("final L2 error vs exact solution: {err:.6e}\n"));
+    }
+    if !s.receivers.is_empty() {
+        out.push_str(&format!(
+            "{} receiver(s) recorded {} samples each\n",
+            s.receivers.len(),
+            s.receivers.first().map_or(0, |r| r.records.len())
+        ));
+    }
+    out
+}
+
+/// Writes the checkpoint time series as CSV (`t,steps,l2_norm,l2_error`).
+pub fn write_series_csv(s: &RunSummary, out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(out, "t,steps,l2_norm,l2_error")?;
+    for p in &s.series {
+        match p.l2_error {
+            Some(e) => writeln!(out, "{},{},{},{e}", p.t, p.steps, p.l2_norm)?,
+            None => writeln!(out, "{},{},{},", p.t, p.steps, p.l2_norm)?,
+        }
+    }
+    Ok(())
+}
+
+/// Writes every receiver's seismogram as CSV
+/// (`receiver,x,y,z,t,q0,q1,…`).
+pub fn write_receivers_csv(s: &RunSummary, out: &mut dyn Write) -> std::io::Result<()> {
+    let vars = s
+        .receivers
+        .iter()
+        .flat_map(|r| r.records.first())
+        .map(|(_, v)| v.len())
+        .next()
+        .unwrap_or(0);
+    write!(out, "receiver,x,y,z,t")?;
+    for v in 0..vars {
+        write!(out, ",q{v}")?;
+    }
+    writeln!(out)?;
+    for (i, r) in s.receivers.iter().enumerate() {
+        for (t, v) in &r.records {
+            write!(
+                out,
+                "{i},{},{},{},{t}",
+                r.position[0], r.position[1], r.position[2]
+            )?;
+            for x in v {
+                write!(out, ",{x}")?;
+            }
+            writeln!(out)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs one scenario invocation and writes its outputs.
+pub fn execute_run(args: &RunArgs) -> Result<RunSummary, CliError> {
+    let scenario = ScenarioRegistry::global()
+        .resolve(&args.scenario)
+        .ok_or_else(|| {
+            CliError::new(format!(
+                "unknown scenario `{}` (registered: {})",
+                args.scenario,
+                ScenarioRegistry::global().names().join(", ")
+            ))
+        })?;
+    let summary = scenario.run(&args.request).map_err(CliError::new)?;
+    if let Some(path) = &args.out {
+        write_file(path, |f| write_series_csv(&summary, f))?;
+    }
+    if let Some(path) = &args.receivers {
+        write_file(path, |f| write_receivers_csv(&summary, f))?;
+    }
+    Ok(summary)
+}
+
+fn write_file(
+    path: &Path,
+    f: impl FnOnce(&mut dyn Write) -> std::io::Result<()>,
+) -> Result<(), CliError> {
+    let mut file = std::fs::File::create(path)
+        .map_err(|e| CliError::new(format!("cannot create {}: {e}", path.display())))?;
+    f(&mut file).map_err(|e| CliError::new(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Checks that every registered scenario has a gallery section (a `##`
+/// heading naming it in backticks) and a reproduction command
+/// (`--scenario <name>`) in the docs file. Returns the missing names.
+pub fn missing_gallery_sections(docs_text: &str) -> Vec<&'static str> {
+    let mut missing = Vec::new();
+    for name in ScenarioRegistry::global().names() {
+        let heading = docs_text
+            .lines()
+            .any(|l| l.starts_with("## ") && l.contains(&format!("`{name}`")));
+        let command = docs_text.contains(&format!("--scenario {name}"));
+        if !(heading && command) {
+            missing.push(name);
+        }
+    }
+    missing
+}
+
+/// The `--smoke-all` gate: every registered scenario runs in smoke mode
+/// on **both** pipelines, and every one has a `docs/SCENARIOS.md`
+/// section — a new scenario cannot land unrunnable or undocumented.
+pub fn smoke_all(docs: &Path, log: &mut dyn Write) -> Result<(), CliError> {
+    for scenario in ScenarioRegistry::global().scenarios() {
+        let info = scenario.info();
+        for pipeline in [PipelineMode::Sharded, PipelineMode::Barrier] {
+            let req = RunRequest {
+                pipeline: Some(pipeline),
+                ..RunRequest::smoke()
+            };
+            let summary = scenario.run(&req).map_err(|e| {
+                CliError::new(format!("scenario `{}` ({pipeline:?}): {e}", info.name))
+            })?;
+            if !summary.l2_norm.is_finite() {
+                return Err(CliError::new(format!(
+                    "scenario `{}` ({pipeline:?}): non-finite L2 norm after {} steps",
+                    info.name, summary.steps
+                )));
+            }
+            let _ = writeln!(
+                log,
+                "smoke {:<20} {pipeline:?}: {} steps, L2 norm {:.3e} — ok",
+                info.name, summary.steps, summary.l2_norm
+            );
+        }
+    }
+    let text = std::fs::read_to_string(docs).map_err(|e| {
+        CliError::new(format!(
+            "cannot read the scenario gallery {}: {e}",
+            docs.display()
+        ))
+    })?;
+    let missing = missing_gallery_sections(&text);
+    if !missing.is_empty() {
+        return Err(CliError::new(format!(
+            "scenario(s) missing from the gallery {} (need a `## …` heading and an \
+             `aderdg-run --scenario <name>` command): {}",
+            docs.display(),
+            missing.join(", ")
+        )));
+    }
+    let _ = writeln!(
+        log,
+        "gallery {} covers all registered scenarios",
+        docs.display()
+    );
+    Ok(())
+}
+
+/// The whole CLI: parse, dispatch, print to `stdout`/`log`.
+pub fn run_cli(args: &[String], stdout: &mut dyn Write) -> Result<(), CliError> {
+    match parse_args(args)? {
+        Command::Help => {
+            let _ = write!(stdout, "{USAGE}");
+            Ok(())
+        }
+        Command::List => {
+            let _ = write!(stdout, "{}", render_list());
+            Ok(())
+        }
+        Command::ListNames => {
+            for name in ScenarioRegistry::global().names() {
+                let _ = writeln!(stdout, "{name}");
+            }
+            Ok(())
+        }
+        Command::Run(run) => {
+            let summary = execute_run(&run)?;
+            let _ = write!(stdout, "{}", render_summary(&summary));
+            Ok(())
+        }
+        Command::SmokeAll { docs } => smoke_all(&docs, stdout),
+    }
+}

@@ -1,0 +1,10 @@
+//! `aderdg-run` — thin binary wrapper over [`aderdg_cli::run_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    if let Err(e) = aderdg_cli::run_cli(&args, &mut stdout.lock()) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,276 @@
+//! CLI parser and driver tests: every user mistake must come back as an
+//! actionable [`CliError`], never a panic; the smoke gate must cover
+//! every registered scenario on both pipelines and the documented
+//! gallery.
+
+use aderdg_cli::{
+    args_from_config, execute_run, missing_gallery_sections, parse_args, render_list,
+    render_summary, toml, write_receivers_csv, write_series_csv, Command, RunArgs,
+};
+use aderdg_core::engine::PipelineMode;
+use aderdg_core::scenario::{RunRequest, ScenarioRegistry};
+use aderdg_core::tune::TuningMode;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn parses_a_full_run_command() {
+    let cmd = parse_args(&args(&[
+        "--scenario",
+        "loh1",
+        "--order",
+        "4",
+        "--kernel",
+        "aosoa_splitck",
+        "--pipeline",
+        "sharded",
+        "--tuning",
+        "model",
+        "--cells",
+        "3",
+        "--t-end",
+        "0.5",
+        "--block-size",
+        "auto",
+        "--shard-size",
+        "6",
+        "--cfl",
+        "0.35",
+        "--out",
+        "run.csv",
+    ]))
+    .unwrap();
+    let Command::Run(run) = cmd else {
+        panic!("expected a run command");
+    };
+    assert_eq!(run.scenario, "loh1");
+    assert_eq!(run.request.order, Some(4));
+    assert_eq!(run.request.kernel.as_deref(), Some("aosoa_splitck"));
+    assert_eq!(run.request.pipeline, Some(PipelineMode::Sharded));
+    assert_eq!(run.request.tuning, Some(TuningMode::Model));
+    assert_eq!(run.request.cells, Some(3));
+    assert_eq!(run.request.t_end, Some(0.5));
+    assert_eq!(run.request.block_size, Some(None));
+    assert_eq!(run.request.shard_size, Some(Some(6)));
+    assert_eq!(run.request.cfl, Some(0.35));
+    assert_eq!(run.out.as_deref(), Some(std::path::Path::new("run.csv")));
+    assert!(!run.request.smoke);
+}
+
+#[test]
+fn unknown_flag_is_an_actionable_error() {
+    let e = parse_args(&args(&["--scenario", "loh1", "--warp", "9"])).unwrap_err();
+    assert!(e.message.contains("unknown flag `--warp`"), "{e}");
+    assert!(e.message.contains("--help"), "{e}");
+}
+
+#[test]
+fn bad_values_are_actionable_errors() {
+    for (cli, needle) in [
+        (
+            vec!["--scenario", "x", "--order", "four"],
+            "invalid value `four` for --order",
+        ),
+        (vec!["--scenario", "x", "--cfl", "fast"], "--cfl"),
+        (
+            vec!["--scenario", "x", "--pipeline", "warp"],
+            "barrier|sharded",
+        ),
+        (
+            vec!["--scenario", "x", "--tuning", "lucky"],
+            "static|model|probe",
+        ),
+        (
+            vec!["--scenario", "x", "--width", "mmx"],
+            "sse|avx2|avx512|host",
+        ),
+        (
+            vec!["--scenario", "x", "--rule", "simpson"],
+            "gauss_legendre|gauss_lobatto",
+        ),
+        (
+            vec!["--scenario", "x", "--block-size", "0"],
+            "auto or an integer >= 1",
+        ),
+        (
+            vec!["--scenario", "x", "--shard-size", "-3"],
+            "auto or an integer >= 1",
+        ),
+        (
+            vec!["--scenario", "x", "--t-end"],
+            "--t-end requires a value",
+        ),
+    ] {
+        let e = parse_args(&args(&cli)).unwrap_err();
+        assert!(e.message.contains(needle), "{cli:?}: {e}");
+    }
+}
+
+#[test]
+fn missing_scenario_is_an_actionable_error() {
+    let e = parse_args(&args(&["--order", "4"])).unwrap_err();
+    assert!(e.message.contains("missing scenario"), "{e}");
+    assert!(e.message.contains("--list"), "{e}");
+    let e = parse_args(&args(&[])).unwrap_err();
+    assert!(e.message.contains("no arguments"), "{e}");
+}
+
+#[test]
+fn unknown_scenario_lists_the_registry() {
+    let run = RunArgs {
+        scenario: "warp_drive".into(),
+        ..RunArgs::default()
+    };
+    let e = execute_run(&run).unwrap_err();
+    assert!(e.message.contains("unknown scenario `warp_drive`"), "{e}");
+    assert!(e.message.contains("loh1"), "{e}");
+}
+
+#[test]
+fn invalid_override_fails_the_run_not_the_process() {
+    let run = RunArgs {
+        scenario: "acoustic_wave".into(),
+        request: RunRequest {
+            kernel: Some("turbo".into()),
+            smoke: true,
+            ..RunRequest::default()
+        },
+        ..RunArgs::default()
+    };
+    let e = execute_run(&run).unwrap_err();
+    assert!(e.message.contains("unknown kernel `turbo`"), "{e}");
+}
+
+#[test]
+fn config_file_parses_and_flags_override() {
+    let dir = std::env::temp_dir().join("aderdg-cli-test-config");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.toml");
+    std::fs::write(
+        &path,
+        "[run]\n\
+         scenario = \"acoustic_wave\"\n\
+         t_end = 0.2\n\
+         cells = 3\n\
+         [solver]\n\
+         order = 4\n\
+         kernel = \"generic\"\n\
+         pipeline = barrier\n",
+    )
+    .unwrap();
+    let cmd = parse_args(&args(&["--config", path.to_str().unwrap(), "--order", "5"])).unwrap();
+    let Command::Run(run) = cmd else {
+        panic!("expected a run command");
+    };
+    assert_eq!(run.scenario, "acoustic_wave");
+    assert_eq!(run.request.t_end, Some(0.2));
+    assert_eq!(run.request.cells, Some(3));
+    assert_eq!(run.request.order, Some(5)); // flag wins over the file
+    assert_eq!(run.request.kernel.as_deref(), Some("generic"));
+    assert_eq!(run.request.pipeline, Some(PipelineMode::Barrier));
+}
+
+#[test]
+fn config_rejects_unknown_tables_keys_and_bad_values() {
+    for (text, needle) in [
+        ("[plotting]\nx = 1\n", "unknown table `[plotting]`"),
+        ("[run]\ncolour = red\n", "unknown [run] key `colour`"),
+        ("[solver]\ncells = 4\n", "unknown [solver] key `cells`"),
+        ("[solver]\norder = four\n", "[solver] order"),
+        ("[run]\nsmoke = maybe\n", "true|false"),
+        ("scenario = \"x\"\n", "outside any table"),
+    ] {
+        let doc = toml::parse(text).unwrap();
+        let e = args_from_config(&doc).unwrap_err();
+        assert!(e.message.contains(needle), "`{text}`: {e}");
+    }
+}
+
+#[test]
+fn smoke_all_covers_every_scenario_and_both_pipelines() {
+    // The real gate CI runs — against the real gallery document.
+    let docs = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/SCENARIOS.md");
+    let mut log = Vec::new();
+    aderdg_cli::smoke_all(&docs, &mut log).unwrap();
+    let log = String::from_utf8(log).unwrap();
+    for name in ScenarioRegistry::global().names() {
+        assert!(log.contains(name), "no smoke line for `{name}`");
+    }
+    assert!(log.contains("Sharded") && log.contains("Barrier"));
+}
+
+#[test]
+fn gallery_check_reports_missing_sections() {
+    let missing = missing_gallery_sections("# empty\n");
+    assert_eq!(
+        missing.len(),
+        ScenarioRegistry::global().names().len(),
+        "an empty gallery must miss every scenario"
+    );
+    // A heading alone (without the reproduction command) does not count.
+    let text = "## `acoustic_wave` — something\n";
+    assert!(missing_gallery_sections(text).contains(&"acoustic_wave"));
+    let text = "## `acoustic_wave` — something\n```sh\naderdg-run --scenario acoustic_wave\n```\n";
+    assert!(!missing_gallery_sections(text).contains(&"acoustic_wave"));
+}
+
+#[test]
+fn run_outputs_series_and_receiver_csv() {
+    let run = RunArgs {
+        scenario: "loh1".into(),
+        request: RunRequest::smoke(),
+        ..RunArgs::default()
+    };
+    let summary = execute_run(&run).unwrap();
+    assert_eq!(summary.scenario, "loh1");
+    assert_eq!(summary.receivers.len(), 3);
+
+    let mut series = Vec::new();
+    write_series_csv(&summary, &mut series).unwrap();
+    let series = String::from_utf8(series).unwrap();
+    assert!(series.starts_with("t,steps,l2_norm,l2_error\n"));
+    // Header + initial point + one per smoke step; loh1 has no exact
+    // solution, so the error column is empty.
+    assert_eq!(series.lines().count(), 2 + summary.steps);
+    assert!(series.lines().nth(1).unwrap().ends_with(','));
+
+    let mut recv = Vec::new();
+    write_receivers_csv(&summary, &mut recv).unwrap();
+    let recv = String::from_utf8(recv).unwrap();
+    assert!(recv.starts_with("receiver,x,y,z,t"));
+    assert_eq!(recv.lines().count(), 1 + 3 * summary.steps);
+
+    let text = render_summary(&summary);
+    assert!(text.contains("scenario loh1"));
+    assert!(text.contains("receiver(s) recorded"));
+}
+
+#[test]
+fn list_renders_every_scenario() {
+    let text = render_list();
+    for name in ScenarioRegistry::global().names() {
+        assert!(text.contains(name), "`{name}` missing from --list");
+    }
+}
+
+#[test]
+fn help_and_list_commands_parse() {
+    assert!(matches!(
+        parse_args(&args(&["--help"])).unwrap(),
+        Command::Help
+    ));
+    assert!(matches!(
+        parse_args(&args(&["--list"])).unwrap(),
+        Command::List
+    ));
+    assert!(matches!(
+        parse_args(&args(&["--list-names"])).unwrap(),
+        Command::ListNames
+    ));
+    let Command::SmokeAll { docs } = parse_args(&args(&["--smoke-all"])).unwrap() else {
+        panic!("expected smoke-all");
+    };
+    assert_eq!(docs, std::path::PathBuf::from("docs/SCENARIOS.md"));
+}

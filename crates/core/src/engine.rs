@@ -997,6 +997,37 @@ impl<P: LinearPde> Engine<P> {
         }
     }
 
+    /// Quadrature-weighted mesh integral of every evolved quantity —
+    /// the discrete conserved quantities. With periodic boundaries each
+    /// entry is conserved to round-off by the once-per-face flux
+    /// telescoping; with walls, exactly the rows whose wall flux vanishes
+    /// (e.g. pressure at a rigid acoustic wall) stay constant
+    /// (`tests/boundary_matrix.rs`).
+    pub fn integrals(&self) -> Vec<f64> {
+        let n = self.plan.n();
+        let m_pad = self.plan.aos.m_pad();
+        let vars = self.pde.num_vars();
+        let w = &self.plan.basis.weights;
+        let dx = self.mesh.cell_size();
+        let cell_vol = dx[0] * dx[1] * dx[2];
+        let mut acc = vec![0.0; vars];
+        for c in 0..self.mesh.num_cells() {
+            let q = &self.state[c];
+            for k3 in 0..n {
+                for k2 in 0..n {
+                    for k1 in 0..n {
+                        let node = (k3 * n + k2) * n + k1;
+                        let wk = w[k1] * w[k2] * w[k3] * cell_vol;
+                        for (s, a) in acc.iter_mut().enumerate() {
+                            *a += wk * q[node * m_pad + s];
+                        }
+                    }
+                }
+            }
+        }
+        acc
+    }
+
     /// Quadrature-weighted L2 norm of the evolved quantities — a discrete
     /// energy proxy for stability monitoring.
     pub fn l2_norm(&self) -> f64 {

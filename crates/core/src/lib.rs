@@ -20,6 +20,8 @@ pub mod par;
 pub mod plan;
 pub mod registry;
 pub mod riemann;
+pub mod scenario;
+pub mod scenarios;
 pub mod spec;
 pub mod traces;
 pub mod tune;
@@ -30,5 +32,8 @@ pub use kernels::{StpInputs, StpKernel, StpOutputs, StpScratch};
 pub use plan::{CellSource, KernelVariant, StpConfig, StpPlan};
 pub use registry::KernelRegistry;
 pub use riemann::{boundary_face, rusanov_face, BoundaryScratch};
+pub use scenario::{
+    RunRequest, RunSummary, Scenario, ScenarioError, ScenarioInfo, ScenarioRegistry,
+};
 pub use spec::{SolverSpec, SpecError};
 pub use tune::{BackendCandidate, BlockCandidate, TuneReport, TuningMode};

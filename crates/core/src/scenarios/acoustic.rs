@@ -1,0 +1,92 @@
+//! Acoustic scenarios: plane-wave convergence and a reflecting Gaussian
+//! pulse.
+
+use crate::scenario::{
+    drive, RunRequest, RunSummary, Scenario, ScenarioError, ScenarioInfo, ScenarioParts,
+};
+use aderdg_mesh::{BoundaryKind, StructuredMesh};
+use aderdg_pde::{Acoustic, AcousticPlaneWave};
+
+/// `acoustic_wave` — a right-going acoustic plane wave on the periodic
+/// unit cube, checked against the exact solution (the quickstart
+/// workload).
+pub struct AcousticWave;
+
+fn plane_wave() -> AcousticPlaneWave {
+    AcousticPlaneWave {
+        direction: [1.0, 0.0, 0.0],
+        amplitude: 1.0,
+        wavenumber: 1.0,
+        rho: 1.0,
+        bulk: 1.0,
+    }
+}
+
+impl Scenario for AcousticWave {
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: "acoustic_wave",
+            title: "periodic acoustic plane wave vs exact solution",
+            system: "acoustic",
+            order: 5,
+            cells: [3, 3, 3],
+            t_end: 0.4,
+            kernel: "splitck",
+            has_exact: true,
+            smoke_cells: [2, 2, 2],
+        }
+    }
+
+    fn run(&self, req: &RunRequest) -> Result<RunSummary, ScenarioError> {
+        let wave = plane_wave();
+        drive(
+            &self.info(),
+            req,
+            |dims| StructuredMesh::new(dims, [0.0; 3], [1.0; 3], [BoundaryKind::Periodic; 3]),
+            Acoustic,
+            ScenarioParts::new(|x, q: &mut [f64], _mesh: &StructuredMesh| {
+                use aderdg_pde::ExactSolution;
+                wave.evaluate(x, 0.0, q);
+                Acoustic::set_params(q, wave.rho, wave.bulk);
+            })
+            .with_exact(&wave),
+        )
+    }
+}
+
+/// `acoustic_pulse` — a Gaussian pressure pulse in a rigid-walled box:
+/// the pulse reflects off all six walls while the total pressure integral
+/// stays conserved to round-off (the wall flux of `p` vanishes for the
+/// rigid-wall ghost state).
+pub struct AcousticPulse;
+
+impl Scenario for AcousticPulse {
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: "acoustic_pulse",
+            title: "Gaussian pressure pulse in a rigid-walled box",
+            system: "acoustic",
+            order: 4,
+            cells: [4, 4, 4],
+            t_end: 0.6,
+            kernel: "splitck",
+            has_exact: false,
+            smoke_cells: [2, 2, 2],
+        }
+    }
+
+    fn run(&self, req: &RunRequest) -> Result<RunSummary, ScenarioError> {
+        drive(
+            &self.info(),
+            req,
+            |dims| StructuredMesh::new(dims, [0.0; 3], [1.0; 3], [BoundaryKind::Reflective; 3]),
+            Acoustic,
+            ScenarioParts::new(|x, q: &mut [f64], _mesh: &StructuredMesh| {
+                q.fill(0.0);
+                let r2: f64 = x.iter().map(|&c| (c - 0.5) * (c - 0.5)).sum();
+                q[aderdg_pde::acoustic::P] = (-r2 / (2.0 * 0.1 * 0.1)).exp();
+                Acoustic::set_params(q, 1.0, 1.0);
+            }),
+        )
+    }
+}

@@ -1,0 +1,106 @@
+//! Advection scenarios: the multi-component convergence wave and a
+//! variable-coefficient solid-body rotation.
+
+use crate::scenario::{
+    drive, RunRequest, RunSummary, Scenario, ScenarioError, ScenarioInfo, ScenarioParts,
+};
+use aderdg_mesh::{BoundaryKind, StructuredMesh};
+use aderdg_pde::{
+    AdvectedSine, AdvectionSystem, ExactSolution, RotatingAdvection, RotatingGaussian,
+};
+
+/// `advection_wave` — three phase-shifted sine components advected
+/// diagonally across the periodic unit cube; the workload behind the
+/// design-order convergence study (run it at several `--order`/`--cells`
+/// combinations and compare `l2_error`).
+pub struct AdvectionWave;
+
+/// Advection velocity shared by the PDE and the exact solution.
+const VELOCITY: [f64; 3] = [0.7, 0.4, 0.2];
+
+impl Scenario for AdvectionWave {
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: "advection_wave",
+            title: "periodic multi-component advected sine (convergence workload)",
+            system: "advection",
+            order: 4,
+            cells: [4, 4, 4],
+            t_end: 0.1,
+            kernel: "splitck",
+            has_exact: true,
+            smoke_cells: [2, 2, 2],
+        }
+    }
+
+    fn run(&self, req: &RunRequest) -> Result<RunSummary, ScenarioError> {
+        let exact = AdvectedSine {
+            n_vars: 3,
+            velocity: VELOCITY,
+            wave: [1.0, 0.0, 0.0],
+        };
+        drive(
+            &self.info(),
+            req,
+            |dims| StructuredMesh::new(dims, [0.0; 3], [1.0; 3], [BoundaryKind::Periodic; 3]),
+            AdvectionSystem::new(3, VELOCITY),
+            ScenarioParts::new(|x, q: &mut [f64], _mesh: &StructuredMesh| {
+                exact.evaluate(x, 0.0, q);
+            })
+            .with_exact(&exact),
+        )
+    }
+}
+
+/// `advection_rotation` — a Gaussian patch carried a quarter turn around
+/// the domain centre by the divergence-free velocity field
+/// `v = ω ẑ × (x − c)`; the gallery's variable-coefficient workload
+/// (velocity stored per node as parameters), checked against the exact
+/// rigidly-rotated solution.
+pub struct AdvectionRotation;
+
+/// Angular velocity: a quarter turn over the default `t_end = 1`.
+const OMEGA: f64 = std::f64::consts::FRAC_PI_2;
+/// Rotation centre.
+const CENTER: [f64; 3] = [0.5, 0.5, 0.5];
+
+impl Scenario for AdvectionRotation {
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: "advection_rotation",
+            title: "Gaussian patch on a solid-body rotation (variable coefficients)",
+            system: "advection",
+            order: 4,
+            cells: [4, 4, 4],
+            t_end: 1.0,
+            kernel: "splitck",
+            has_exact: true,
+            smoke_cells: [2, 2, 2],
+        }
+    }
+
+    fn run(&self, req: &RunRequest) -> Result<RunSummary, ScenarioError> {
+        let pde = RotatingAdvection {
+            omega: OMEGA,
+            center: CENTER,
+        };
+        let exact = RotatingGaussian {
+            omega: OMEGA,
+            center: CENTER,
+            start: [0.7, 0.5, 0.5],
+            sigma: 0.1,
+            amplitude: 1.0,
+        };
+        drive(
+            &self.info(),
+            req,
+            |dims| StructuredMesh::new(dims, [0.0; 3], [1.0; 3], [BoundaryKind::Outflow; 3]),
+            pde,
+            ScenarioParts::new(|x, q: &mut [f64], _mesh: &StructuredMesh| {
+                exact.evaluate(x, 0.0, q);
+                RotatingAdvection::set_params(q, OMEGA, CENTER, x);
+            })
+            .with_exact(&exact),
+        )
+    }
+}

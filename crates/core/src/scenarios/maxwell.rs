@@ -1,0 +1,51 @@
+//! Maxwell scenario: an electromagnetic plane wave propagated through a
+//! periodic vacuum-like cavity.
+
+use crate::scenario::{
+    drive, RunRequest, RunSummary, Scenario, ScenarioError, ScenarioInfo, ScenarioParts,
+};
+use aderdg_mesh::{BoundaryKind, StructuredMesh};
+use aderdg_pde::{ExactSolution, Maxwell, MaxwellPlaneWave};
+
+/// `maxwell_cavity` — a transverse electromagnetic plane wave propagated
+/// for a full period on the periodic unit cube; energy must not grow and
+/// the field is checked against the exact solution.
+pub struct MaxwellCavity;
+
+impl Scenario for MaxwellCavity {
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: "maxwell_cavity",
+            title: "periodic electromagnetic plane wave, one full period, vs exact",
+            system: "maxwell",
+            order: 5,
+            cells: [3, 3, 3],
+            t_end: 1.0,
+            kernel: "aosoa_splitck",
+            has_exact: true,
+            smoke_cells: [2, 2, 2],
+        }
+    }
+
+    fn run(&self, req: &RunRequest) -> Result<RunSummary, ScenarioError> {
+        let wave = MaxwellPlaneWave {
+            direction: [0.0, 0.0, 1.0],
+            polarization: [1.0, 0.0, 0.0],
+            amplitude: 1.0,
+            wavenumber: 1.0,
+            epsilon: 1.0,
+            mu: 1.0,
+        };
+        drive(
+            &self.info(),
+            req,
+            |dims| StructuredMesh::new(dims, [0.0; 3], [1.0; 3], [BoundaryKind::Periodic; 3]),
+            Maxwell,
+            ScenarioParts::new(|x, q: &mut [f64], _mesh: &StructuredMesh| {
+                wave.evaluate(x, 0.0, q);
+                Maxwell::set_params(q, wave.epsilon, wave.mu);
+            })
+            .with_exact(&wave),
+        )
+    }
+}

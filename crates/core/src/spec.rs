@@ -45,6 +45,38 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// Parses a SIMD-width keyword (`sse`/`128`, `avx2`/`256`,
+/// `avx512`/`512`, `host`) — shared by the spec-file parser and the
+/// `aderdg-run` CLI.
+pub fn parse_width(value: &str) -> Option<SimdWidth> {
+    match value {
+        "sse" | "128" => Some(SimdWidth::W2),
+        "avx2" | "256" => Some(SimdWidth::W4),
+        "avx512" | "512" => Some(SimdWidth::W8),
+        "host" => Some(SimdWidth::host()),
+        _ => None,
+    }
+}
+
+/// Parses a quadrature-rule keyword (`gauss_legendre` | `gauss_lobatto`).
+pub fn parse_rule(value: &str) -> Option<QuadratureRule> {
+    match value {
+        "gauss_legendre" => Some(QuadratureRule::GaussLegendre),
+        "gauss_lobatto" => Some(QuadratureRule::GaussLobatto),
+        _ => None,
+    }
+}
+
+/// Parses an `auto`-or-positive-integer size value (`block_size`,
+/// `shard_size`): `Some(None)` for `auto`, `Some(Some(n))` for `n ≥ 1`,
+/// `None` for anything else.
+pub fn parse_auto_size(value: &str) -> Option<Option<usize>> {
+    if value == "auto" {
+        return Some(None);
+    }
+    value.parse::<usize>().ok().filter(|&b| b >= 1).map(Some)
+}
+
 /// A validated solver configuration.
 #[derive(Clone)]
 pub struct SolverSpec {
@@ -166,28 +198,16 @@ impl SolverSpec {
                     })?;
                 }
                 "width" => {
-                    spec.width = match value {
-                        "sse" | "128" => SimdWidth::W2,
-                        "avx2" | "256" => SimdWidth::W4,
-                        "avx512" | "512" => SimdWidth::W8,
-                        "host" => SimdWidth::host(),
-                        other => {
-                            return Err(err(format!(
-                                "unknown width `{other}` (sse|avx2|avx512|host)"
-                            )))
-                        }
-                    };
+                    spec.width = parse_width(value).ok_or_else(|| {
+                        err(format!("unknown width `{value}` (sse|avx2|avx512|host)"))
+                    })?;
                 }
                 "rule" => {
-                    spec.rule = match value {
-                        "gauss_legendre" => QuadratureRule::GaussLegendre,
-                        "gauss_lobatto" => QuadratureRule::GaussLobatto,
-                        other => {
-                            return Err(err(format!(
-                                "unknown rule `{other}` (gauss_legendre|gauss_lobatto)"
-                            )))
-                        }
-                    };
+                    spec.rule = parse_rule(value).ok_or_else(|| {
+                        err(format!(
+                            "unknown rule `{value}` (gauss_legendre|gauss_lobatto)"
+                        ))
+                    })?;
                 }
                 "cfl" => {
                     spec.cfl = value
@@ -195,13 +215,11 @@ impl SolverSpec {
                         .map_err(|_| err(format!("invalid cfl `{value}`")))?;
                 }
                 "block_size" => {
-                    spec.block_size =
-                        match value {
-                            "auto" => None,
-                            v => Some(v.parse::<usize>().ok().filter(|&b| b >= 1).ok_or_else(
-                                || err(format!("invalid block_size `{v}` (auto or integer >= 1)")),
-                            )?),
-                        };
+                    spec.block_size = parse_auto_size(value).ok_or_else(|| {
+                        err(format!(
+                            "invalid block_size `{value}` (auto or integer >= 1)"
+                        ))
+                    })?;
                 }
                 "tuning" => {
                     spec.tuning = TuningMode::parse(value).ok_or_else(|| {
@@ -214,13 +232,11 @@ impl SolverSpec {
                     })?;
                 }
                 "shard_size" => {
-                    spec.shard_size =
-                        match value {
-                            "auto" => None,
-                            v => Some(v.parse::<usize>().ok().filter(|&b| b >= 1).ok_or_else(
-                                || err(format!("invalid shard_size `{v}` (auto or integer >= 1)")),
-                            )?),
-                        };
+                    spec.shard_size = parse_auto_size(value).ok_or_else(|| {
+                        err(format!(
+                            "invalid shard_size `{value}` (auto or integer >= 1)"
+                        ))
+                    })?;
                 }
                 other => {
                     return Err(err(format!("unknown key `{other}`")));

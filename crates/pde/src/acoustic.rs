@@ -17,6 +17,19 @@ pub const VARS: usize = 4;
 pub const PARAMS: usize = 2;
 
 /// The acoustic wave equation with per-node material parameters.
+///
+/// ```
+/// use aderdg_pde::{Acoustic, LinearPde};
+///
+/// let pde = Acoustic;
+/// let mut q = vec![0.0; pde.num_quantities()];
+/// q[aderdg_pde::acoustic::P] = 2.0;
+/// Acoustic::set_params(&mut q, 2.0, 8.0); // ρ = 2, K = 8 → c = 2
+/// assert_eq!(pde.max_wavespeed(0, &q), 2.0);
+/// let mut f = vec![0.0; pde.num_quantities()];
+/// pde.flux(0, &q, &mut f); // F_x[u_x] = −p/ρ = −1
+/// assert_eq!(f[aderdg_pde::acoustic::U], -1.0);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Acoustic;
 
@@ -95,6 +108,23 @@ impl LinearPde for Acoustic {
 
 /// Exact plane-wave solution of the homogeneous acoustic equations:
 /// `p = A sin(2πk (n·x − c t))`, `u = (n/(ρ c)) p`.
+///
+/// ```
+/// use aderdg_pde::{AcousticPlaneWave, ExactSolution};
+///
+/// let wave = AcousticPlaneWave {
+///     direction: [1.0, 0.0, 0.0],
+///     amplitude: 1.0,
+///     wavenumber: 1.0,
+///     rho: 1.0,
+///     bulk: 4.0,
+/// };
+/// assert_eq!(wave.speed(), 2.0);
+/// let mut q = [0.0; 4];
+/// wave.evaluate([0.25, 0.0, 0.0], 0.0, &mut q); // sin(π/2) = 1 at the crest
+/// assert!((q[0] - 1.0).abs() < 1e-12);
+/// assert!((q[1] - 0.5).abs() < 1e-12); // u = p/(ρc)
+/// ```
 #[derive(Debug, Clone)]
 pub struct AcousticPlaneWave {
     /// Unit propagation direction.

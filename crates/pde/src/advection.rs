@@ -13,7 +13,17 @@ use crate::traits::{ExactSolution, LinearPde};
 /// implemented via the conservative flux `F_d(q) = -a_d q`.
 ///
 /// With the engine convention `Q_t = ∇·F(Q) + B·∇Q`, the flux must carry
-/// the minus sign.
+/// the minus sign:
+///
+/// ```
+/// use aderdg_pde::{AdvectionSystem, LinearPde};
+///
+/// let pde = AdvectionSystem::new(2, [3.0, 0.0, 0.0]);
+/// let mut f = [0.0; 2];
+/// pde.flux(0, &[1.0, -2.0], &mut f);
+/// assert_eq!(f, [-3.0, 6.0]);
+/// assert_eq!(pde.max_wavespeed(0, &[0.0; 2]), 3.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct AdvectionSystem {
     /// Number of advected components.
@@ -76,6 +86,18 @@ impl LinearPde for AdvectionSystem {
 
 /// The same advection dynamics expressed through the non-conservative
 /// product: `F ≡ 0`, `B_d ∇_d Q = -a_d ∇_d Q`.
+///
+/// ```
+/// use aderdg_pde::{AdvectionNcpSystem, LinearPde};
+///
+/// let pde = AdvectionNcpSystem::new(1, [2.0, 0.0, 0.0]);
+/// assert!(pde.has_ncp());
+/// let mut out = [7.0];
+/// pde.flux(0, &[1.0], &mut out); // no conservative flux at all
+/// assert_eq!(out, [0.0]);
+/// pde.ncp(0, &[1.0], &[0.5], &mut out); // B_x ∇_x q = −a_x ∇_x q
+/// assert_eq!(out, [-1.0]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct AdvectionNcpSystem {
     /// Number of advected components.
@@ -154,8 +176,150 @@ impl LinearPde for AdvectionNcpSystem {
     }
 }
 
+/// Solid-body-rotation advection: one quantity transported by the
+/// divergence-free velocity field `v(x) = ω ẑ × (x − c)` (rotation about
+/// the vertical axis through `center`), stored per node as three
+/// parameters — the first *variable-coefficient* system in the gallery.
+///
+/// Because `∇·v = 0`, the conservative flux `F_d = −v_d q` realizes the
+/// transport `q_t + v·∇q = 0` exactly; the velocity parameters are linear
+/// in position, so the nodal parameter interpolation is exact for every
+/// scheme order ≥ 2.
+///
+/// ```
+/// use aderdg_pde::{LinearPde, RotatingAdvection};
+///
+/// let pde = RotatingAdvection { omega: 2.0, center: [0.5, 0.5, 0.5] };
+/// let mut q = vec![3.0, 0.0, 0.0, 0.0]; // q plus the 3 velocity params
+/// RotatingAdvection::set_params(&mut q, 2.0, [0.5, 0.5, 0.5], [0.5, 0.75, 0.1]);
+/// // At (0.5, 0.75, ·) the velocity is ω·(−0.25, 0, 0) = (−0.5, 0, 0).
+/// let mut f = vec![0.0; 4];
+/// pde.flux(0, &q, &mut f);
+/// assert!((f[0] - 0.5 * 3.0).abs() < 1e-14); // F_x = −v_x q = +0.5 q
+/// assert!((pde.max_wavespeed(0, &q) - 0.5).abs() < 1e-14);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RotatingAdvection {
+    /// Angular velocity about the vertical axis.
+    pub omega: f64,
+    /// Rotation centre.
+    pub center: [f64; 3],
+}
+
+/// Number of evolved quantities of [`RotatingAdvection`].
+pub const ROTATION_VARS: usize = 1;
+/// Parameters of [`RotatingAdvection`]: the local velocity `(vx, vy, vz)`.
+pub const ROTATION_PARAMS: usize = 3;
+
+impl RotatingAdvection {
+    /// Fills the velocity parameter slots of a node at position `x` for a
+    /// rotation of angular velocity `omega` about the vertical axis
+    /// through `center`.
+    pub fn set_params(q: &mut [f64], omega: f64, center: [f64; 3], x: [f64; 3]) {
+        q[ROTATION_VARS] = -omega * (x[1] - center[1]);
+        q[ROTATION_VARS + 1] = omega * (x[0] - center[0]);
+        q[ROTATION_VARS + 2] = 0.0;
+    }
+}
+
+impl LinearPde for RotatingAdvection {
+    fn num_vars(&self) -> usize {
+        ROTATION_VARS
+    }
+
+    fn num_params(&self) -> usize {
+        ROTATION_PARAMS
+    }
+
+    fn flux(&self, d: usize, q: &[f64], f: &mut [f64]) {
+        f.fill(0.0);
+        f[0] = -q[ROTATION_VARS + d] * q[0];
+    }
+
+    fn flux_vect(&self, d: usize, q: &[f64], f: &mut [f64], _len: usize, stride: usize) {
+        f.fill(0.0);
+        let vd = &q[(ROTATION_VARS + d) * stride..(ROTATION_VARS + d + 1) * stride];
+        let qs = &q[..stride];
+        let fs = &mut f[..stride];
+        for i in 0..stride {
+            fs[i] = -vd[i] * qs[i];
+        }
+    }
+
+    fn has_vectorized_user_functions(&self) -> bool {
+        true
+    }
+
+    fn max_wavespeed(&self, d: usize, q: &[f64]) -> f64 {
+        q[ROTATION_VARS + d].abs()
+    }
+
+    fn flux_flops(&self) -> u64 {
+        1
+    }
+}
+
+/// Exact solution of [`RotatingAdvection`]: a Gaussian patch carried
+/// rigidly around the rotation centre,
+/// `q(x, t) = A exp(−|R(−ωt)(x − c) − (x₀ − c)|² / (2σ²))`.
+///
+/// ```
+/// use aderdg_pde::{ExactSolution, RotatingGaussian};
+///
+/// let exact = RotatingGaussian {
+///     omega: std::f64::consts::PI, // half a turn per unit time
+///     center: [0.5, 0.5, 0.5],
+///     start: [0.7, 0.5, 0.5],
+///     sigma: 0.1,
+///     amplitude: 1.0,
+/// };
+/// let mut q = [0.0];
+/// // After half a turn the peak sits diametrically opposite the start.
+/// exact.evaluate([0.3, 0.5, 0.5], 1.0, &mut q);
+/// assert!((q[0] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RotatingGaussian {
+    /// Angular velocity (must match the PDE).
+    pub omega: f64,
+    /// Rotation centre (must match the PDE).
+    pub center: [f64; 3],
+    /// Initial peak position.
+    pub start: [f64; 3],
+    /// Gaussian width.
+    pub sigma: f64,
+    /// Peak amplitude.
+    pub amplitude: f64,
+}
+
+impl ExactSolution for RotatingGaussian {
+    fn evaluate(&self, x: [f64; 3], t: f64, q: &mut [f64]) {
+        // Trace the point back: rotate (x − c) by −ωt about ẑ.
+        let (s, c) = (-self.omega * t).sin_cos();
+        let dx = x[0] - self.center[0];
+        let dy = x[1] - self.center[1];
+        let back = [
+            c * dx - s * dy + self.center[0],
+            s * dx + c * dy + self.center[1],
+            x[2],
+        ];
+        let r2: f64 = (0..3).map(|d| (back[d] - self.start[d]).powi(2)).sum();
+        q[0] = self.amplitude * (-r2 / (2.0 * self.sigma * self.sigma)).exp();
+    }
+}
+
 /// Smooth periodic exact solution `q_s(x, t) = sin(2π (k·(x − a t)) + φ_s)`
 /// on the unit-periodic domain.
+///
+/// ```
+/// use aderdg_pde::{AdvectedSine, ExactSolution};
+///
+/// let exact = AdvectedSine { n_vars: 1, velocity: [1.0, 0.0, 0.0], wave: [1.0, 0.0, 0.0] };
+/// let (mut a, mut b) = ([0.0], [0.0]);
+/// exact.evaluate([0.2, 0.0, 0.0], 0.0, &mut a);
+/// exact.evaluate([0.5, 0.0, 0.0], 0.3, &mut b); // translated by a·t
+/// assert!((a[0] - b[0]).abs() < 1e-14);
+/// ```
 #[derive(Debug, Clone)]
 pub struct AdvectedSine {
     /// Number of components (each phase-shifted).
@@ -234,6 +398,76 @@ mod tests {
         assert_eq!(sys.max_wavespeed(0, &[0.0]), 3.0);
         assert_eq!(sys.max_wavespeed(1, &[0.0]), 4.0);
         assert_eq!(sys.max_wavespeed(2, &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn rotation_flux_matches_pointwise_and_is_divergence_free_transport() {
+        let pde = RotatingAdvection {
+            omega: 1.5,
+            center: [0.5, 0.5, 0.5],
+        };
+        let x = [0.8, 0.4, 0.3];
+        let mut q = vec![2.0, 0.0, 0.0, 0.0];
+        RotatingAdvection::set_params(&mut q, 1.5, [0.5, 0.5, 0.5], x);
+        // v = ω (−(y−cy), x−cx, 0) = 1.5 · (0.1, 0.3, 0).
+        assert!((q[1] - 0.15).abs() < 1e-14);
+        assert!((q[2] - 0.45).abs() < 1e-14);
+        assert_eq!(q[3], 0.0);
+        let mut f = vec![0.0; 4];
+        pde.flux(0, &q, &mut f);
+        assert!((f[0] + 0.15 * 2.0).abs() < 1e-14);
+        pde.flux(2, &q, &mut f);
+        assert_eq!(f[0], 0.0);
+
+        // Vectorized path against pointwise.
+        let stride = 4;
+        let m = pde.num_quantities();
+        let mut qs = vec![0.0; m * stride];
+        for i in 0..stride {
+            for s in 0..m {
+                qs[s * stride + i] = q[s] * (1.0 + i as f64);
+            }
+        }
+        for d in 0..3 {
+            let mut fv = vec![f64::NAN; m * stride];
+            pde.flux_vect(d, &qs, &mut fv, stride, stride);
+            for i in 0..stride {
+                let qi: Vec<f64> = (0..m).map(|s| qs[s * stride + i]).collect();
+                let mut fi = vec![0.0; m];
+                pde.flux(d, &qi, &mut fi);
+                for s in 0..m {
+                    assert!((fv[s * stride + i] - fi[s]).abs() < 1e-14);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotating_gaussian_returns_after_full_turn() {
+        let exact = RotatingGaussian {
+            omega: 2.0 * std::f64::consts::PI,
+            center: [0.5, 0.5, 0.5],
+            start: [0.7, 0.55, 0.5],
+            sigma: 0.08,
+            amplitude: 0.9,
+        };
+        let x = [0.62, 0.47, 0.51];
+        let mut q0 = [0.0];
+        let mut q1 = [0.0];
+        exact.evaluate(x, 0.0, &mut q0);
+        exact.evaluate(x, 1.0, &mut q1);
+        assert!((q0[0] - q1[0]).abs() < 1e-12);
+        // Quarter turn moves the peak from (0.7, 0.5) to (0.5, 0.7).
+        let exact = RotatingGaussian {
+            omega: std::f64::consts::FRAC_PI_2,
+            center: [0.5, 0.5, 0.5],
+            start: [0.7, 0.5, 0.5],
+            sigma: 0.08,
+            amplitude: 1.0,
+        };
+        let mut q = [0.0];
+        exact.evaluate([0.5, 0.7, 0.5], 1.0, &mut q);
+        assert!((q[0] - 1.0).abs() < 1e-12);
     }
 
     #[test]

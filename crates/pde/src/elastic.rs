@@ -46,6 +46,14 @@ pub const P_CS: usize = VARS + 2;
 pub const P_JAC: usize = VARS + 3;
 
 /// Homogeneous isotropic material description.
+///
+/// ```
+/// use aderdg_pde::Material;
+///
+/// let granite = Material { rho: 2.7, cp: 6.0, cs: 3.0 };
+/// assert!((granite.mu() - 2.7 * 9.0).abs() < 1e-12);     // μ = ρ cs²
+/// assert!((granite.lambda() - 2.7 * 18.0).abs() < 1e-12); // λ = ρ (cp² − 2 cs²)
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Material {
     /// Density.
@@ -69,6 +77,21 @@ impl Material {
 }
 
 /// The elastic wave equation (LOH1-style setups).
+///
+/// ```
+/// use aderdg_pde::{elastic, Elastic, LinearPde, Material};
+///
+/// let pde = Elastic;
+/// assert_eq!(pde.num_quantities(), 21); // 9 evolved + 3 material + 9 metric
+/// let mat = Material { rho: 1.0, cp: 1.0, cs: 0.5 };
+/// let mut q = vec![0.0; 21];
+/// q[elastic::SXX] = 2.0;
+/// Elastic::set_params(&mut q, mat, &Elastic::IDENTITY_JAC);
+/// let mut f = vec![0.0; 21];
+/// pde.flux(0, &q, &mut f); // F_x[vx] = σxx/ρ on a Cartesian mesh
+/// assert_eq!(f[elastic::VX], 2.0);
+/// assert_eq!(pde.max_wavespeed(0, &q), 1.0); // cp · |J row|
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Elastic;
 
@@ -263,6 +286,23 @@ impl LinearPde for Elastic {
 ///
 /// P-wave: polarization = propagation direction, speed `cp`.
 /// S-wave: polarization ⟂ direction, speed `cs`.
+///
+/// ```
+/// use aderdg_pde::{ElasticPlaneWave, Material};
+///
+/// let mat = Material { rho: 1.0, cp: 2.0, cs: 1.0 };
+/// let p_wave = ElasticPlaneWave {
+///     direction: [1.0, 0.0, 0.0],
+///     polarization: [1.0, 0.0, 0.0],
+///     amplitude: 0.1,
+///     wavenumber: 1.0,
+///     material: mat,
+/// };
+/// assert!(p_wave.is_p_wave());
+/// assert_eq!(p_wave.speed(), 2.0); // P-waves travel at cp
+/// let s_wave = ElasticPlaneWave { polarization: [0.0, 1.0, 0.0], ..p_wave };
+/// assert_eq!(s_wave.speed(), 1.0); // S-waves at cs
+/// ```
 #[derive(Debug, Clone)]
 pub struct ElasticPlaneWave {
     /// Unit propagation direction `n`.

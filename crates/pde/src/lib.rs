@@ -20,7 +20,9 @@ pub mod swe;
 pub mod traits;
 
 pub use acoustic::{Acoustic, AcousticPlaneWave};
-pub use advection::{AdvectedSine, AdvectionNcpSystem, AdvectionSystem};
+pub use advection::{
+    AdvectedSine, AdvectionNcpSystem, AdvectionSystem, RotatingAdvection, RotatingGaussian,
+};
 pub use elastic::{Elastic, ElasticPlaneWave, Material};
 pub use maxwell::{Maxwell, MaxwellPlaneWave};
 pub use source::{PointSource, SourceTimeFunction};

@@ -24,6 +24,19 @@ pub const VARS: usize = 6;
 pub const PARAMS: usize = 2;
 
 /// The Maxwell system.
+///
+/// ```
+/// use aderdg_pde::{maxwell, LinearPde, Maxwell};
+///
+/// let pde = Maxwell;
+/// let mut q = vec![0.0; pde.num_quantities()];
+/// q[maxwell::HZ] = 3.0;
+/// Maxwell::set_params(&mut q, 4.0, 1.0); // ε = 4, μ = 1 → c = 1/2
+/// assert_eq!(pde.max_wavespeed(0, &q), 0.5);
+/// let mut f = vec![0.0; pde.num_quantities()];
+/// pde.flux(0, &q, &mut f); // E_t = (∇×H)/ε: the Ey row reads −Hz/ε
+/// assert_eq!(f[maxwell::EY], -0.75);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Maxwell;
 
@@ -142,6 +155,23 @@ impl LinearPde for Maxwell {
 
 /// Exact transverse electromagnetic plane wave in a homogeneous medium:
 /// `E = p A sin(2πk(n·x − ct))`, `H = (n×p) A √(ε/μ) sin(·)`, `p ⟂ n`.
+///
+/// ```
+/// use aderdg_pde::{maxwell, ExactSolution, MaxwellPlaneWave};
+///
+/// let wave = MaxwellPlaneWave {
+///     direction: [0.0, 0.0, 1.0],
+///     polarization: [1.0, 0.0, 0.0],
+///     amplitude: 1.0,
+///     wavenumber: 1.0,
+///     epsilon: 1.0,
+///     mu: 1.0,
+/// };
+/// let mut q = [0.0; 6];
+/// wave.evaluate([0.0, 0.0, 0.25], 0.0, &mut q); // crest of sin(2πz)
+/// assert!((q[maxwell::EX] - 1.0).abs() < 1e-12);
+/// assert!((q[maxwell::HY] - 1.0).abs() < 1e-12); // H = n × p at unit impedance
+/// ```
 #[derive(Debug, Clone)]
 pub struct MaxwellPlaneWave {
     /// Unit propagation direction.

@@ -8,6 +8,16 @@
 //! `dⁿ/dxⁿ e^{−x²/2} = (−1)ⁿ Heₙ(x) e^{−x²/2}`.
 
 /// Source-time functions used in seismic benchmarks.
+///
+/// ```
+/// use aderdg_pde::SourceTimeFunction;
+///
+/// let ricker = SourceTimeFunction::Ricker { t0: 1.0, frequency: 2.0 };
+/// assert!((ricker.value(1.0) - 1.0).abs() < 1e-12); // unit peak at t0
+/// let d = ricker.derivatives(1.0, 2);
+/// assert!(d[1].abs() < 1e-12); // stationary at the peak
+/// assert!(d[2] < 0.0);         // …and concave
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SourceTimeFunction {
     /// `g(t) = exp(−(t − t0)² / (2σ²))`.
@@ -92,6 +102,20 @@ impl SourceTimeFunction {
 
 /// A point source `A · stf(t) · δ(x − x0)`: position, per-quantity
 /// amplitude vector, and source-time function.
+///
+/// ```
+/// use aderdg_pde::{PointSource, SourceTimeFunction};
+///
+/// let source = PointSource {
+///     position: [0.5, 0.5, 0.55],
+///     amplitude: vec![0.0, 2.0],
+///     stf: SourceTimeFunction::Gaussian { t0: 0.0, sigma: 1.0 },
+/// };
+/// // Per-quantity time derivatives feed the Cauchy-Kowalewsky predictor.
+/// let d = source.amplitude_derivatives(0.0, 1);
+/// assert_eq!(d[0], vec![0.0, 2.0]); // g(0) = 1 scales the amplitudes
+/// assert_eq!(d[1], vec![0.0, 0.0]); // g'(0) = 0 at the peak
+/// ```
 #[derive(Debug, Clone)]
 pub struct PointSource {
     /// Source location (physical coordinates).

@@ -21,6 +21,24 @@ pub const VARS: usize = 4;
 pub const PARAMS: usize = 2;
 
 /// The linearized shallow-water system.
+///
+/// ```
+/// use aderdg_pde::{swe, LinearPde, LinearizedSwe};
+///
+/// let pde = LinearizedSwe;
+/// assert!(pde.has_ncp()); // mixes flux (η) and ncp (u) terms
+/// let mut q = vec![0.0; pde.num_quantities()];
+/// q[swe::U] = 0.5;
+/// LinearizedSwe::set_params(&mut q, 4.0, 9.0); // H = 4, g = 9 → c = 6
+/// assert_eq!(pde.max_wavespeed(0, &q), 6.0);
+/// let mut f = vec![0.0; pde.num_quantities()];
+/// pde.flux(0, &q, &mut f); // η_t = ∂_x(−H u)
+/// assert_eq!(f[swe::ETA], -2.0);
+/// let grad = [3.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+/// let mut out = vec![0.0; pde.num_quantities()];
+/// pde.ncp(0, &q, &grad, &mut out); // u_t = −g ∂_x η
+/// assert_eq!(out[swe::U], -27.0);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct LinearizedSwe;
 
@@ -115,6 +133,23 @@ impl LinearPde for LinearizedSwe {
 
 /// Exact gravity-wave plane wave over a *flat* bottom:
 /// `η = A sin(2πk(n·x − ct))`, `u = n (c/H) η`, `c = sqrt(gH)`.
+///
+/// ```
+/// use aderdg_pde::{swe, ExactSolution, SweGravityWave};
+///
+/// let wave = SweGravityWave {
+///     direction: [1.0, 0.0, 0.0],
+///     amplitude: 0.1,
+///     wavenumber: 1.0,
+///     depth: 4.0,
+///     gravity: 9.0,
+/// };
+/// assert_eq!(wave.speed(), 6.0); // c = √(gH)
+/// let mut q = [0.0; 4];
+/// wave.evaluate([0.25, 0.0, 0.0], 0.0, &mut q);
+/// assert!((q[swe::ETA] - 0.1).abs() < 1e-12);
+/// assert!((q[swe::U] - 0.1 * 6.0 / 4.0).abs() < 1e-12); // u = (c/H) η
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweGravityWave {
     /// Unit propagation direction.

@@ -22,6 +22,34 @@
 
 /// A linear hyperbolic PDE system with cell-constant coefficients taken
 /// from per-node material parameters.
+///
+/// Implementing the three required methods is enough for the full
+/// engine; the vectorized SoA variants and the reflective ghost are
+/// opt-in refinements:
+///
+/// ```
+/// use aderdg_pde::LinearPde;
+///
+/// /// One quantity advected rightward at unit speed.
+/// struct Upwind;
+/// impl LinearPde for Upwind {
+///     fn num_vars(&self) -> usize { 1 }
+///     fn flux(&self, d: usize, q: &[f64], f: &mut [f64]) {
+///         f[0] = if d == 0 { -q[0] } else { 0.0 };
+///     }
+///     fn max_wavespeed(&self, d: usize, _q: &[f64]) -> f64 {
+///         if d == 0 { 1.0 } else { 0.0 }
+///     }
+///     fn flux_flops(&self) -> u64 { 1 }
+/// }
+///
+/// let pde = Upwind;
+/// assert_eq!(pde.num_quantities(), 1); // no parameters by default
+/// // The SoA fallback gathers lane by lane into the pointwise flux.
+/// let (q, mut f) = ([2.0, 3.0], [0.0, 0.0]);
+/// pde.flux_vect(0, &q, &mut f, 2, 2);
+/// assert_eq!(f, [-2.0, -3.0]);
+/// ```
 pub trait LinearPde: Send + Sync {
     /// Number of evolved quantities.
     fn num_vars(&self) -> usize;
@@ -145,6 +173,20 @@ pub trait LinearPde: Send + Sync {
 }
 
 /// An exact reference solution, used by convergence tests and examples.
+///
+/// ```
+/// use aderdg_pde::ExactSolution;
+///
+/// struct Constant(f64);
+/// impl ExactSolution for Constant {
+///     fn evaluate(&self, _x: [f64; 3], _t: f64, q: &mut [f64]) {
+///         q.fill(self.0);
+///     }
+/// }
+/// let mut q = [0.0; 2];
+/// Constant(3.0).evaluate([0.0; 3], 1.0, &mut q);
+/// assert_eq!(q, [3.0, 3.0]);
+/// ```
 pub trait ExactSolution: Send + Sync {
     /// Evaluates the evolved quantities (not the parameters) at `(x, t)`.
     fn evaluate(&self, x: [f64; 3], t: f64, q: &mut [f64]);

@@ -1,30 +1,31 @@
 //! Convergence study: the ADER-DG scheme attains its design order.
 //!
-//! Runs multi-component linear advection on successively refined periodic
-//! meshes at several polynomial orders and prints the observed L2
-//! convergence rates (expected: rate ≈ order).
+//! Runs the registered `advection_wave` scenario (multi-component linear
+//! advection, exact solution) on successively refined periodic meshes at
+//! several polynomial orders — the order/mesh sweep is just a pair of
+//! [`RunRequest`] overrides, the setup itself lives in the scenario
+//! registry.
 //!
 //! ```sh
 //! cargo run --release --example convergence
 //! ```
 
-use aderdg::core::{Engine, EngineConfig, KernelVariant};
-use aderdg::mesh::StructuredMesh;
-use aderdg::pde::{AdvectedSine, AdvectionSystem, ExactSolution};
+use aderdg::core::scenario::{RunRequest, ScenarioRegistry};
 
-fn error(order: usize, cells: usize, variant: KernelVariant) -> f64 {
-    let velocity = [0.7, 0.4, 0.2];
-    let pde = AdvectionSystem::new(3, velocity);
-    let exact = AdvectedSine {
-        n_vars: 3,
-        velocity,
-        wave: [1.0, 0.0, 0.0],
-    };
-    let mesh = StructuredMesh::unit_cube(cells);
-    let mut engine = Engine::new(mesh, pde, EngineConfig::new(order).with_variant(variant));
-    engine.set_initial(|x, q| exact.evaluate(x, 0.0, q));
-    engine.run_until(0.1);
-    engine.l2_error(&exact)
+fn error(order: usize, cells: usize) -> f64 {
+    let scenario = ScenarioRegistry::global()
+        .resolve("advection_wave")
+        .expect("advection_wave is registered");
+    let summary = scenario
+        .run(&RunRequest {
+            order: Some(order),
+            cells: Some(cells),
+            ..RunRequest::new()
+        })
+        .expect("scenario runs");
+    summary
+        .l2_error
+        .expect("advection_wave has an exact solution")
 }
 
 fn main() {
@@ -37,10 +38,10 @@ fn main() {
         // Low orders need finer meshes to reach the asymptotic regime;
         // high orders hit round-off there — measure the rate on the
         // appropriate refinement step.
-        let e2 = error(order, 2, KernelVariant::SplitCk);
-        let e4 = error(order, 4, KernelVariant::SplitCk);
+        let e2 = error(order, 2);
+        let e4 = error(order, 4);
         let (e8, rate) = if order <= 3 {
-            let e8 = error(order, 8, KernelVariant::SplitCk);
+            let e8 = error(order, 8);
             (e8, (e4 / e8).log2())
         } else {
             (f64::NAN, (e2 / e4).log2())

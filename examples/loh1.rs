@@ -1,113 +1,39 @@
-//! LOH1-style layered-medium benchmark (paper Sec. VI).
+//! LOH1-style layered-medium benchmark (paper Sec. VI), run through the
+//! scenario registry.
 //!
 //! Layer Over Halfspace: a low-velocity elastic layer over a stiffer
-//! half-space, a buried moment-rate point source with a Ricker wavelet,
-//! free surface on top, and surface receivers recording seismograms —
-//! the workload the paper's evaluation is built on, with the full
-//! `m = 21` stored quantities (9 evolved + 3 material + 9 metric).
-//!
-//! The mesh is fitted to the material interface with a curvilinear
-//! vertical stretch; its inverse-Jacobian rows are stored per node and
-//! enter the elastic flux as metric coefficients.
+//! half-space on an interface-fitted curvilinear mesh, a buried
+//! moment-rate point source with a Ricker wavelet, a free surface on top
+//! and surface receivers recording seismograms — the workload the
+//! paper's evaluation is built on, with the full `m = 21` stored
+//! quantities. The entire setup lives in the registered `loh1` scenario
+//! (`crates/core/src/scenarios/elastic.rs`); this example only
+//! post-processes the seismograms.
 //!
 //! ```sh
 //! cargo run --release --example loh1
 //! ```
 
-use aderdg::core::{Engine, EngineConfig, KernelVariant};
-use aderdg::mesh::{BoundaryKind, CurvilinearMap, InterfaceFittedMap, StructuredMesh};
-use aderdg::pde::{elastic, Elastic, Material, PointSource, SourceTimeFunction};
+use aderdg::core::scenario::{RunRequest, ScenarioRegistry};
+use aderdg::core::scenarios::LOH1_OFFSETS;
+use aderdg::pde::elastic;
 
 fn main() {
-    // Domain: a (scaled) box; z = 1 is the free surface. The material
-    // interface at depth z = 0.7 is fitted by the curvilinear map from the
-    // mesh plane z = 0.75 (cell boundary of a 4-cell column).
-    let mesh = StructuredMesh::new(
-        [4, 4, 4],
-        [0.0; 3],
-        [1.0; 3],
-        [
-            BoundaryKind::Outflow,
-            BoundaryKind::Outflow,
-            BoundaryKind::Reflective, // free surface (elastic ghost)
-        ],
-    );
-    let map = InterfaceFittedMap {
-        plane_z: 0.75,
-        interface_z: 0.7,
-        bump: 0.02,
-    };
-
-    // LOH1 materials (scaled units): soft layer over stiff half-space.
-    let layer = Material {
-        rho: 1.0,
-        cp: 1.0,
-        cs: 0.58,
-    };
-    let halfspace = Material {
-        rho: 1.3,
-        cp: 1.6,
-        cs: 0.92,
-    };
-
-    let config = EngineConfig::new(4).with_variant(KernelVariant::AoSoASplitCk);
-    let mut engine = Engine::new(mesh.clone(), Elastic, config);
-
-    // Quiescent medium. The material is constant per cell (the map fits
-    // the interface to a cell boundary, so no cell straddles it); the
-    // metric varies smoothly per node.
-    engine.set_initial(|x, q| {
-        q.fill(0.0);
-        let cell_center = mesh.cell_center(mesh.locate(x));
-        let mat = if map.map(cell_center)[2] > 0.7 {
-            layer
-        } else {
-            halfspace
-        };
-        let metric = map.metric(x);
-        Elastic::set_params(q, mat, &metric);
-    });
-
-    // Buried double-couple-like source: moment rate on σxy below the
-    // interface, Ricker wavelet.
-    let mut amplitude = vec![0.0; elastic::VARS];
-    amplitude[elastic::SXY] = 1.0;
-    // Dominant frequency resolved by the mesh (≥ ~4 cells/wavelength in
-    // the slow layer) so arrival times are physical.
-    engine.add_point_source(PointSource {
-        position: [0.5, 0.5, 0.55],
-        amplitude,
-        stf: SourceTimeFunction::Ricker {
-            t0: 0.6,
-            frequency: 1.8,
-        },
-    });
-
-    // Surface receivers at increasing offset from the epicentre, along the
-    // 45° azimuth (maximum P radiation of an σxy double-couple; the
-    // coordinate axes are its nodal planes).
-    let offsets = [0.1, 0.2, 0.35];
-    let ids: Vec<usize> = offsets
-        .iter()
-        .map(|&dx| {
-            let h = dx / std::f64::consts::SQRT_2;
-            engine.add_receiver([0.5 + h, 0.5 + h, 0.97])
-        })
-        .collect();
-
+    let scenario = ScenarioRegistry::global()
+        .resolve("loh1")
+        .expect("loh1 is registered");
     println!("LOH1-style run: m = 21 quantities, AoSoA SplitCK, order 4");
-    engine.run_until(2.2);
+    let summary = scenario.run(&RunRequest::new()).expect("scenario runs");
     println!(
         "simulated t = {:.2} in {} steps\n",
-        engine.time, engine.steps
+        summary.t_end, summary.steps
     );
 
     println!(
         "{:>8} {:>12} {:>14} {:>12}",
         "offset", "peak |v|", "first arrival", "peak |vz|"
     );
-    for (&dx, &id) in offsets.iter().zip(&ids) {
-        let rec = &engine.receivers[id];
+    for (&dx, rec) in LOH1_OFFSETS.iter().zip(&summary.receivers) {
         let vmag = |v: &Vec<f64>| {
             (v[elastic::VX].powi(2) + v[elastic::VY].powi(2) + v[elastic::VZ].powi(2)).sqrt()
         };

@@ -1,15 +1,15 @@
 //! Electromagnetic wave propagation driven by a specification file —
-//! demonstrates the opt-in kernel selection of the paper (Sec. II-C: users
-//! choose variants in the specification file; optimized kernels are
-//! opt-in) on a second physics domain.
+//! demonstrates the opt-in kernel selection of the paper (Sec. II-C:
+//! users choose variants in the specification file; optimized kernels
+//! are opt-in) feeding the registered `maxwell_cavity` scenario: every
+//! `SolverSpec` knob flows into the run via `RunRequest::with_spec`.
 //!
 //! ```sh
 //! cargo run --release --example maxwell_cavity
 //! ```
 
-use aderdg::core::{Engine, SolverSpec};
-use aderdg::mesh::StructuredMesh;
-use aderdg::pde::{ExactSolution, Maxwell, MaxwellPlaneWave};
+use aderdg::core::scenario::{RunRequest, ScenarioRegistry};
+use aderdg::core::SolverSpec;
 
 const SPEC: &str = "
 # Maxwell benchmark — Sec. V kernel, order 5
@@ -29,37 +29,27 @@ fn main() {
         spec.cfl
     );
 
-    // A circularly-ish polarized pair of plane waves in vacuum-like medium.
-    let wave = MaxwellPlaneWave {
-        direction: [0.0, 0.0, 1.0],
-        polarization: [1.0, 0.0, 0.0],
-        amplitude: 1.0,
-        wavenumber: 1.0,
-        epsilon: 1.0,
-        mu: 1.0,
-    };
-
-    let mesh = StructuredMesh::unit_cube(3);
-    let mut engine = Engine::new(mesh, Maxwell, spec.engine_config());
-    engine.set_initial(|x, q| {
-        wave.evaluate(x, 0.0, q);
-        Maxwell::set_params(q, wave.epsilon, wave.mu);
-    });
+    let scenario = ScenarioRegistry::global()
+        .resolve("maxwell_cavity")
+        .expect("maxwell_cavity is registered");
+    let summary = scenario
+        .run(&RunRequest::new().with_spec(&spec))
+        .expect("scenario runs");
 
     println!("\n{:>8} {:>12} {:>12}", "t", "L2 error", "energy");
-    let e0 = engine.l2_norm();
-    for checkpoint in [0.25, 0.5, 1.0] {
-        engine.run_until(checkpoint);
+    for p in summary.series.iter().skip(1) {
         println!(
             "{:>8.2} {:>12.3e} {:>12.6}",
-            engine.time,
-            engine.l2_error(&wave),
-            engine.l2_norm()
+            p.t,
+            p.l2_error.expect("maxwell_cavity has an exact solution"),
+            p.l2_norm
         );
     }
-    let e1 = engine.l2_norm();
+
+    let e0 = summary.series.first().expect("series has t = 0").l2_norm;
+    let e1 = summary.l2_norm;
     assert!(e1 <= e0 * 1.001, "energy must not grow ({e0} -> {e1})");
-    let err = engine.l2_error(&wave);
+    let err = summary.l2_error.expect("exact solution available");
     assert!(err < 5e-3, "unexpectedly large error {err}");
     println!("\nfull period propagated, energy non-increasing — Maxwell OK");
 }

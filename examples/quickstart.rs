@@ -1,59 +1,36 @@
-//! Quickstart: propagate an acoustic plane wave with the linear ADER-DG
-//! engine and verify it against the exact solution.
+//! Quickstart: run the registered `acoustic_wave` scenario — an acoustic
+//! plane wave checked against the exact solution — through the scenario
+//! registry, exactly as `aderdg-run --scenario acoustic_wave` does.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use aderdg::core::{Engine, EngineConfig, KernelVariant};
-use aderdg::mesh::StructuredMesh;
-use aderdg::pde::{Acoustic, AcousticPlaneWave, ExactSolution};
+use aderdg::core::scenario::{RunRequest, ScenarioRegistry};
 
 fn main() {
-    // A right-going plane wave in a homogeneous medium (c = 1).
-    let wave = AcousticPlaneWave {
-        direction: [1.0, 0.0, 0.0],
-        amplitude: 1.0,
-        wavenumber: 1.0,
-        rho: 1.0,
-        bulk: 1.0,
-    };
+    let scenario = ScenarioRegistry::global()
+        .resolve("acoustic_wave")
+        .expect("acoustic_wave is registered");
+    let info = scenario.info();
+    println!(
+        "{}: order {}, {}³ cells, kernel {}",
+        info.title, info.order, info.cells[0], info.kernel
+    );
 
-    // 3³ cells of a periodic unit cube, order-5 ADER-DG, the paper's
-    // cache-aware SplitCK predictor.
-    let mesh = StructuredMesh::unit_cube(3);
-    let config = EngineConfig::new(5).with_variant(KernelVariant::SplitCk);
-    let mut engine = Engine::new(mesh, Acoustic, config);
+    let summary = scenario.run(&RunRequest::new()).expect("scenario runs");
 
-    // Initial condition = exact solution at t = 0, plus material params.
-    engine.set_initial(|x, q| {
-        wave.evaluate(x, 0.0, q);
-        Acoustic::set_params(q, wave.rho, wave.bulk);
-    });
-
-    println!("order 5, 27 cells, SplitCK predictor");
     println!("{:>8} {:>12} {:>10}", "t", "L2 error", "steps");
-    for checkpoint in [0.1, 0.2, 0.4] {
-        engine.run_until(checkpoint);
+    for p in &summary.series {
         println!(
             "{:>8.2} {:>12.3e} {:>10}",
-            engine.time,
-            engine.l2_error(&wave),
-            engine.steps
+            p.t,
+            p.l2_error.expect("acoustic_wave has an exact solution"),
+            p.steps
         );
     }
 
-    // Probe the solution at a point and compare with the exact value.
-    let x = [0.31, 0.62, 0.5];
-    let got = engine.sample(x);
-    let mut want = vec![0.0; 4];
-    wave.evaluate(x, engine.time, &mut want);
-    println!(
-        "\nsample at {x:?}: p = {:.6} (exact {:.6})",
-        got[0], want[0]
-    );
-
-    let err = engine.l2_error(&wave);
+    let err = summary.l2_error.expect("exact solution available");
     assert!(err < 5e-3, "unexpectedly large error {err}");
     println!("\nquickstart OK (final L2 error {err:.3e})");
 }

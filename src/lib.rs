@@ -48,6 +48,21 @@
 //!     assert!(KernelRegistry::global().resolve(kernel.name()).is_some());
 //! }
 //! ```
+//!
+//! Complete workloads (PDE + initial condition + boundaries + defaults)
+//! live in the scenario registry and run by name — from Rust here, or
+//! from the shell via `aderdg-run --scenario <name>` (see
+//! `docs/SCENARIOS.md` for the gallery):
+//!
+//! ```
+//! use aderdg::core::scenario::{RunRequest, ScenarioRegistry};
+//!
+//! let scenario = ScenarioRegistry::global().resolve("acoustic_wave").unwrap();
+//! let summary = scenario.run(&RunRequest::smoke()).unwrap();
+//! assert!(summary.l2_error.unwrap() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
 
 // The README's Rust snippets must keep compiling against the real API:
 // rustdoc collects them as doc-tests through this hidden item, so
