@@ -8,6 +8,8 @@
 //! Every binary prints the same series the corresponding paper figure
 //! plots; see DESIGN.md §5 for the experiment index.
 
+pub mod points;
+
 use aderdg_core::kernels::{StpInputs, StpOutputs};
 use aderdg_core::mix::{stp_pack_counts, stp_useful_flops, UserFunctionCost};
 use aderdg_core::traces::trace_batch;

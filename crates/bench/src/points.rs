@@ -1,0 +1,151 @@
+//! Tiny dependency-free JSON point emitter for benchmark records.
+//!
+//! Benchmark binaries append flat measurement objects to a top-level JSON
+//! array file (e.g. `BENCH_gemm.json` at the repository root) so that
+//! future sessions can add comparable points without re-running old
+//! hardware: every point carries its own backend/shape/metric fields and
+//! the file stays valid JSON after every append.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Builder for one flat JSON object (string/number/integer fields only —
+/// exactly what a benchmark point needs).
+#[derive(Debug, Clone, Default)]
+pub struct JsonPoint {
+    buf: String,
+}
+
+impl JsonPoint {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push_str(", ");
+        }
+        let _ = write!(self.buf, "\"{}\": ", escape(key));
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, val: &str) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "\"{}\"", escape(val));
+        self
+    }
+
+    /// Adds a finite float field (non-finite values are emitted as
+    /// `null`, which plain JSON cannot represent as a number).
+    pub fn num(mut self, key: &str, val: f64) -> Self {
+        self.key(key);
+        if val.is_finite() {
+            let _ = write!(self.buf, "{val}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, val: usize) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{val}");
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Escapes a string for a JSON literal (quotes, backslashes, control
+/// characters — benchmark labels never need more).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends `point` (a rendered JSON object) to the JSON array in `path`,
+/// creating the file as `[point]` when missing or empty. The file is
+/// rewritten whole — these are small bench records, not logs — and stays
+/// a valid JSON array after every call.
+pub fn append_point(path: &Path, point: &str) -> io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let body = existing.trim();
+    let merged = if body.is_empty() || body == "[]" {
+        format!("[\n  {point}\n]\n")
+    } else {
+        let inner = body
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{} is not a JSON array", path.display()),
+                )
+            })?
+            .trim_end();
+        format!("[{inner},\n  {point}\n]\n")
+    };
+    std::fs::write(path, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_rendering_and_escaping() {
+        let p = JsonPoint::new()
+            .str("kind", "gemm")
+            .str("label", "a\"b\\c\nd")
+            .num("gflops", 12.5)
+            .num("bad", f64::NAN)
+            .int("order", 5)
+            .finish();
+        assert_eq!(
+            p,
+            "{\"kind\": \"gemm\", \"label\": \"a\\\"b\\\\c\\nd\", \
+             \"gflops\": 12.5, \"bad\": null, \"order\": 5}"
+        );
+    }
+
+    #[test]
+    fn append_builds_a_valid_array() {
+        let dir = std::env::temp_dir().join(format!("aderdg_points_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("points.json");
+        let _ = std::fs::remove_file(&path);
+
+        append_point(&path, &JsonPoint::new().int("a", 1).finish()).unwrap();
+        append_point(&path, &JsonPoint::new().int("b", 2).finish()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "[\n  {\"a\": 1},\n  {\"b\": 2}\n]\n");
+
+        // Appending to a non-array file fails loudly instead of mangling.
+        std::fs::write(&path, "{}").unwrap();
+        assert!(append_point(&path, "{}").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -237,26 +237,50 @@ impl StpPlan {
         };
         let acc = |spec: GemmSpec| plan_gemm(spec.accumulate());
 
+        // The operator operands are fixed for the plan's lifetime: every
+        // AoS derivative multiplies `D` on the left, the AoSoA x-sweep
+        // multiplies `Dᵀ` (padded) on the right, and the fused AoSoA
+        // sweeps multiply `D` on the left. Pack them into microkernel
+        // panels once here — on packing backends the per-step kernels then
+        // walk cached panels, amortizing the packing cost over every cell
+        // block of every step (no-op on the autovec backends).
+        let pack_aos = |g: Gemm| g.with_packed_a(&basis.diff);
+        let pack_aosoa = |d: usize, g: Gemm| {
+            if d == 0 {
+                g.with_packed_b(&diff_t_padded)
+            } else {
+                g.with_packed_a(&basis.diff)
+            }
+        };
+
         Self {
             cfg,
+            gemm_aos: [
+                pack_aos(plan_gemm(spec_aos(0))),
+                pack_aos(plan_gemm(spec_aos(1))),
+                pack_aos(plan_gemm(spec_aos(2))),
+            ],
+            gemm_aos_acc: [
+                pack_aos(acc(spec_aos(0))),
+                pack_aos(acc(spec_aos(1))),
+                pack_aos(acc(spec_aos(2))),
+            ],
+            gemm_aosoa: [
+                pack_aosoa(0, plan_gemm(spec_aosoa(0))),
+                pack_aosoa(1, plan_gemm(spec_aosoa(1))),
+                pack_aosoa(2, plan_gemm(spec_aosoa(2))),
+            ],
+            gemm_aosoa_acc: [
+                pack_aosoa(0, acc(spec_aosoa(0))),
+                pack_aosoa(1, acc(spec_aosoa(1))),
+                pack_aosoa(2, acc(spec_aosoa(2))),
+            ],
             basis,
             aos,
             aosoa,
             face,
             inv_dx,
             diff_t_padded,
-            gemm_aos: [
-                plan_gemm(spec_aos(0)),
-                plan_gemm(spec_aos(1)),
-                plan_gemm(spec_aos(2)),
-            ],
-            gemm_aos_acc: [acc(spec_aos(0)), acc(spec_aos(1)), acc(spec_aos(2))],
-            gemm_aosoa: [
-                plan_gemm(spec_aosoa(0)),
-                plan_gemm(spec_aosoa(1)),
-                plan_gemm(spec_aosoa(2)),
-            ],
-            gemm_aosoa_acc: [acc(spec_aosoa(0)), acc(spec_aosoa(1)), acc(spec_aosoa(2))],
         }
     }
 

@@ -13,7 +13,19 @@
 //! entry in [`backends`] — no enum, no match.
 
 use crate::kernels::{gemm_autovec, gemm_autovec_batched, Isa};
+use crate::micro::{
+    run_batched_micro, Microkernel, PackedOperands, PackedPanels, PortableMicrokernel,
+};
+#[cfg(target_arch = "x86_64")]
+use crate::micro::{Avx2Microkernel, Avx512Microkernel, Avx512WideMicrokernel};
 use crate::spec::{GemmBatch, GemmSpec};
+
+/// Environment variable that forces backend selection by
+/// [`name`](GemmBackend::name) (e.g. `ADERDG_GEMM_BACKEND=baseline`),
+/// overriding both the ISA cap and the widest-first walk in
+/// [`select_backend`] and short-circuiting the probe tuner. Unknown or
+/// host-unsupported names are ignored with a one-time warning.
+pub const BACKEND_ENV: &str = "ADERDG_GEMM_BACKEND";
 
 /// One compiled GEMM implementation selectable at plan time.
 pub trait GemmBackend: Send + Sync + std::fmt::Debug {
@@ -41,14 +53,57 @@ pub trait GemmBackend: Send + Sync + std::fmt::Debug {
     /// ([`GemmBatch::fuse_rows`]) — the cell-block execution path where
     /// one operator load serves a whole block of cells.
     fn run_batched(&self, spec: &GemmSpec, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+        batch.check(spec, a, b, c);
+        // Exact-length sub-slices: an out-of-bounds stride panics here
+        // instead of silently reading whatever follows the logical operand.
+        let (ra, rb, rc) = spec.required_lens();
         for i in 0..batch.count {
-            self.execute(
-                spec,
-                &a[i * batch.stride_a..],
-                &b[i * batch.stride_b..],
-                &mut c[i * batch.stride_c..],
-            );
+            let (ao, bo, co) = (i * batch.stride_a, i * batch.stride_b, i * batch.stride_c);
+            self.execute(spec, &a[ao..ao + ra], &b[bo..bo + rb], &mut c[co..co + rc]);
         }
+    }
+
+    /// Packs the left operand for reuse across calls, if this backend runs
+    /// a packing microkernel (`None` means "packing buys nothing here" —
+    /// the autovec backends multiply straight from the raw buffers).
+    fn pack_a(&self, _spec: &GemmSpec, _a: &[f64]) -> Option<PackedPanels> {
+        None
+    }
+
+    /// Packs the right operand for reuse across calls (see
+    /// [`pack_a`](GemmBackend::pack_a)).
+    fn pack_b(&self, _spec: &GemmSpec, _b: &[f64]) -> Option<PackedPanels> {
+        None
+    }
+
+    /// [`execute`](GemmBackend::execute) with optional plan-cached panels
+    /// (packed by **this** backend's [`pack_a`](GemmBackend::pack_a) /
+    /// [`pack_b`](GemmBackend::pack_b) from the same logical operands as
+    /// the raw slices). Backends without packing ignore the panels.
+    fn execute_packed(
+        &self,
+        spec: &GemmSpec,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        _packed: PackedOperands<'_>,
+    ) {
+        self.execute(spec, a, b, c);
+    }
+
+    /// [`run_batched`](GemmBackend::run_batched) with optional plan-cached
+    /// panels; panels apply to operands the batch shares (stride `0`) and
+    /// to the shared-`B` side of fused row-stacked batches.
+    fn run_batched_packed(
+        &self,
+        spec: &GemmSpec,
+        batch: &GemmBatch,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        _packed: PackedOperands<'_>,
+    ) {
+        self.run_batched(spec, batch, a, b, c);
     }
 }
 
@@ -139,22 +194,287 @@ impl GemmBackend for Avx512Backend {
     }
 }
 
-/// All backends, widest (most preferred) first.
+/// Shared body of the packed backends: picks the microkernel for the
+/// output shape, validates, and dispatches single calls.
+///
+/// # Safety
+/// The host must support `micro`.
+unsafe fn execute_micro(
+    micro: &dyn Microkernel,
+    spec: &GemmSpec,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    packed: PackedOperands<'_>,
+) {
+    // SAFETY: forwarded support contract; the kernel validates operands
+    // and panel geometry itself.
+    unsafe { micro.kernel(spec, a, b, c, packed) }
+}
+
+/// Portable packed-microkernel backend: same register-tiled packed driver
+/// as the SIMD backends, instantiated on the scalar-fallback vector type —
+/// always supported, and the forced-scalar leg of the equivalence suite.
+#[derive(Debug, Clone, Copy)]
+pub struct PackedBaselineBackend;
+
+impl PackedBaselineBackend {
+    fn micro(&self) -> &'static dyn Microkernel {
+        &PortableMicrokernel
+    }
+}
+
+impl GemmBackend for PackedBaselineBackend {
+    fn name(&self) -> &'static str {
+        "packed_baseline"
+    }
+
+    fn isa(&self) -> Isa {
+        Isa::Baseline
+    }
+
+    fn supported(&self) -> bool {
+        true
+    }
+
+    fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+        self.execute_packed(spec, a, b, c, PackedOperands::none());
+    }
+
+    fn run_batched(&self, spec: &GemmSpec, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+        self.run_batched_packed(spec, batch, a, b, c, PackedOperands::none());
+    }
+
+    fn pack_a(&self, spec: &GemmSpec, a: &[f64]) -> Option<PackedPanels> {
+        Some(self.micro().pack_a_block(spec, a))
+    }
+
+    fn pack_b(&self, spec: &GemmSpec, b: &[f64]) -> Option<PackedPanels> {
+        Some(self.micro().pack_b_block(spec, b))
+    }
+
+    fn execute_packed(
+        &self,
+        spec: &GemmSpec,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        // SAFETY: the portable microkernel has no ISA requirement.
+        unsafe { execute_micro(self.micro(), spec, a, b, c, packed) }
+    }
+
+    fn run_batched_packed(
+        &self,
+        spec: &GemmSpec,
+        batch: &GemmBatch,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        // SAFETY: the portable microkernel has no ISA requirement.
+        unsafe { run_batched_micro(self.micro(), spec, batch, a, b, c, packed) }
+    }
+}
+
+/// AVX2+FMA packed-microkernel backend (4×8 tiles of `ymm` FMAs).
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct PackedAvx2Backend;
+
+#[cfg(target_arch = "x86_64")]
+impl PackedAvx2Backend {
+    fn micro(&self) -> &'static dyn Microkernel {
+        &Avx2Microkernel
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl GemmBackend for PackedAvx2Backend {
+    fn name(&self) -> &'static str {
+        "packed_avx2"
+    }
+
+    fn isa(&self) -> Isa {
+        Isa::Avx2
+    }
+
+    fn supported(&self) -> bool {
+        self.micro().supported()
+    }
+
+    fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+        self.execute_packed(spec, a, b, c, PackedOperands::none());
+    }
+
+    fn run_batched(&self, spec: &GemmSpec, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+        self.run_batched_packed(spec, batch, a, b, c, PackedOperands::none());
+    }
+
+    fn pack_a(&self, spec: &GemmSpec, a: &[f64]) -> Option<PackedPanels> {
+        Some(self.micro().pack_a_block(spec, a))
+    }
+
+    fn pack_b(&self, spec: &GemmSpec, b: &[f64]) -> Option<PackedPanels> {
+        Some(self.micro().pack_b_block(spec, b))
+    }
+
+    fn execute_packed(
+        &self,
+        spec: &GemmSpec,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        // SAFETY: `supported` gated the selection of this backend.
+        unsafe { execute_micro(self.micro(), spec, a, b, c, packed) }
+    }
+
+    fn run_batched_packed(
+        &self,
+        spec: &GemmSpec,
+        batch: &GemmBatch,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        // SAFETY: `supported` gated the selection of this backend.
+        unsafe { run_batched_micro(self.micro(), spec, batch, a, b, c, packed) }
+    }
+}
+
+/// AVX-512 packed-microkernel backend. Shape-specialized like a LIBXSMM
+/// dispatch table: 8×8 tiles (one `zmm` column) for narrow outputs — the
+/// `n_pad = 8` AoSoA shape of the fused `d = 0` derivative — and 4×16
+/// tiles when `n` is a multiple of 16. The choice depends only on
+/// `spec.n`, so plan-cached panels stay valid across row fusion.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct PackedAvx512Backend;
+
+#[cfg(target_arch = "x86_64")]
+impl PackedAvx512Backend {
+    fn micro(&self, spec: &GemmSpec) -> &'static dyn Microkernel {
+        if spec.n >= 16 && spec.n % 16 == 0 {
+            &Avx512WideMicrokernel
+        } else {
+            &Avx512Microkernel
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl GemmBackend for PackedAvx512Backend {
+    fn name(&self) -> &'static str {
+        "packed_avx512"
+    }
+
+    fn isa(&self) -> Isa {
+        Isa::Avx512
+    }
+
+    fn supported(&self) -> bool {
+        Avx512Microkernel.supported()
+    }
+
+    fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
+        self.execute_packed(spec, a, b, c, PackedOperands::none());
+    }
+
+    fn run_batched(&self, spec: &GemmSpec, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
+        self.run_batched_packed(spec, batch, a, b, c, PackedOperands::none());
+    }
+
+    fn pack_a(&self, spec: &GemmSpec, a: &[f64]) -> Option<PackedPanels> {
+        Some(self.micro(spec).pack_a_block(spec, a))
+    }
+
+    fn pack_b(&self, spec: &GemmSpec, b: &[f64]) -> Option<PackedPanels> {
+        Some(self.micro(spec).pack_b_block(spec, b))
+    }
+
+    fn execute_packed(
+        &self,
+        spec: &GemmSpec,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        // SAFETY: `supported` gated the selection of this backend.
+        unsafe { execute_micro(self.micro(spec), spec, a, b, c, packed) }
+    }
+
+    fn run_batched_packed(
+        &self,
+        spec: &GemmSpec,
+        batch: &GemmBatch,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        // SAFETY: `supported` gated the selection of this backend.
+        unsafe { run_batched_micro(self.micro(spec), spec, batch, a, b, c, packed) }
+    }
+}
+
+/// All backends, widest (most preferred) first; at each ISA level the
+/// packed-microkernel backend precedes the autovec one.
 pub fn backends() -> &'static [&'static dyn GemmBackend] {
     #[cfg(target_arch = "x86_64")]
     {
-        &[&Avx512Backend, &Avx2Backend, &BaselineBackend]
+        &[
+            &PackedAvx512Backend,
+            &Avx512Backend,
+            &PackedAvx2Backend,
+            &Avx2Backend,
+            &PackedBaselineBackend,
+            &BaselineBackend,
+        ]
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
-        &[&BaselineBackend]
+        &[&PackedBaselineBackend, &BaselineBackend]
     }
+}
+
+/// Resolves [`BACKEND_ENV`] to a forced backend, warning once (and
+/// returning `None`) for unknown or host-unsupported names.
+fn env_backend() -> Option<&'static dyn GemmBackend> {
+    let name = std::env::var(BACKEND_ENV).ok()?;
+    if name.is_empty() {
+        return None;
+    }
+    let forced = forced_backend(&name);
+    if forced.is_none() {
+        static WARNED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+        WARNED.get_or_init(|| {
+            eprintln!("warning: {BACKEND_ENV}={name} names no host-supported backend; ignored");
+        });
+    }
+    forced
+}
+
+/// The selection a [`BACKEND_ENV`] value of `name` would force, if any.
+fn forced_backend(name: &str) -> Option<&'static dyn GemmBackend> {
+    backend_by_name(name).filter(|b| b.supported())
 }
 
 /// Picks the widest host-supported backend at or below the `cap` ISA —
 /// the plan-time selection step (the cap emulates the paper's
 /// "AVX2 build on an AVX-512 machine" comparison, Fig. 4).
+///
+/// Setting [`BACKEND_ENV`] forces the named backend regardless of `cap` —
+/// the escape hatch CI uses to exercise the scalar paths on SIMD hosts.
 pub fn select_backend(cap: Isa) -> &'static dyn GemmBackend {
+    if let Some(b) = env_backend() {
+        return b;
+    }
     backends()
         .iter()
         .copied()
@@ -248,14 +568,30 @@ fn rank_with(
 mod tests {
     use super::*;
 
+    /// Skip host-default selection asserts when the run forces a backend
+    /// through the environment (the CI forced-backend legs).
+    fn env_forced() -> bool {
+        std::env::var(BACKEND_ENV).is_ok()
+    }
+
     #[test]
     fn baseline_is_always_supported_and_last_resort() {
         assert!(BaselineBackend.supported());
-        assert_eq!(select_backend(Isa::Baseline).name(), "baseline");
+        assert!(PackedBaselineBackend.supported());
+        if env_forced() {
+            return;
+        }
+        // Baseline cap prefers the packed portable microkernel; the plain
+        // autovec baseline stays registered as the final fallback.
+        assert_eq!(select_backend(Isa::Baseline).name(), "packed_baseline");
+        assert_eq!(backends().last().unwrap().name(), "baseline");
     }
 
     #[test]
     fn selection_respects_cap_and_host() {
+        if env_forced() {
+            return;
+        }
         for cap in [Isa::Baseline, Isa::Avx2, Isa::Avx512] {
             let b = select_backend(cap);
             assert!(b.isa() <= cap, "cap {cap:?} gave {}", b.name());
@@ -263,6 +599,22 @@ mod tests {
         }
         // The uncapped selection must match plain feature detection.
         assert_eq!(select_backend(Isa::Avx512).isa(), Isa::detect());
+    }
+
+    #[test]
+    fn forced_backend_resolves_supported_names_only() {
+        assert_eq!(forced_backend("baseline").unwrap().name(), "baseline");
+        assert_eq!(
+            forced_backend("packed_baseline").unwrap().name(),
+            "packed_baseline"
+        );
+        assert!(forced_backend("turbo").is_none());
+        for b in backends() {
+            // Every host-supported backend is forceable by its own name.
+            if b.supported() {
+                assert_eq!(forced_backend(b.name()).unwrap().name(), b.name());
+            }
+        }
     }
 
     #[test]
@@ -294,10 +646,13 @@ mod tests {
             assert!(b.supported());
             assert!(secs.is_finite() && *secs >= 0.0);
         }
-        // Capping at baseline leaves exactly the baseline backend.
+        // Capping at baseline leaves exactly the two always-supported
+        // scalar-path backends.
         let capped = rank_backends(&spec, Isa::Baseline, 1);
-        assert_eq!(capped.len(), 1);
-        assert_eq!(capped[0].0.name(), "baseline");
+        assert_eq!(capped.len(), 2);
+        let mut names: Vec<_> = capped.iter().map(|(b, _)| b.name()).collect();
+        names.sort_unstable();
+        assert_eq!(names, ["baseline", "packed_baseline"]);
     }
 
     #[test]
@@ -322,6 +677,47 @@ mod tests {
         select_backend(Isa::Avx512).execute(&spec, &a, &b, &mut c2);
         for (x, y) in c1.iter().zip(&c2) {
             assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn packed_backends_accept_plan_cached_panels() {
+        let spec = GemmSpec::dense(7, 11, 5).with_scale(1.5, 0.25);
+        let (ra, rb, rc) = spec.required_lens();
+        let mut rng = aderdg_tensor::Lcg::new(42);
+        let a = rng.vec(ra, -1.0, 1.0);
+        let b = rng.vec(rb, -1.0, 1.0);
+        let c0 = rng.vec(rc, -1.0, 1.0);
+
+        let mut c_ref = c0.clone();
+        crate::kernels::gemm_naive(&spec, &a, &b, &mut c_ref);
+
+        for bk in backends() {
+            if !bk.supported() {
+                continue;
+            }
+            let pa = bk.pack_a(&spec, &a);
+            let pb = bk.pack_b(&spec, &b);
+            assert_eq!(
+                pa.is_some(),
+                bk.name().starts_with("packed_"),
+                "{}",
+                bk.name()
+            );
+            let mut c = c0.clone();
+            bk.execute_packed(
+                &spec,
+                &a,
+                &b,
+                &mut c,
+                PackedOperands {
+                    a: pa.as_ref(),
+                    b: pb.as_ref(),
+                },
+            );
+            for (x, y) in c.iter().zip(&c_ref) {
+                assert!((x - y).abs() < 1e-12, "{}", bk.name());
+            }
         }
     }
 }

@@ -332,6 +332,8 @@ impl Isa {
 pub struct Gemm {
     spec: GemmSpec,
     backend: &'static dyn crate::backend::GemmBackend,
+    packed_a: Option<std::sync::Arc<crate::micro::PackedPanels>>,
+    packed_b: Option<std::sync::Arc<crate::micro::PackedPanels>>,
 }
 
 impl Gemm {
@@ -343,16 +345,74 @@ impl Gemm {
     /// Plans `spec` with an explicit ISA cap (the cap is intersected with
     /// what the host actually supports).
     pub fn with_isa(spec: GemmSpec, isa: Isa) -> Self {
-        Self {
-            spec,
-            backend: crate::backend::select_backend(isa),
-        }
+        Self::with_backend(spec, crate::backend::select_backend(isa))
     }
 
     /// Plans `spec` on an explicit backend (the caller vouches the host
     /// supports it).
     pub fn with_backend(spec: GemmSpec, backend: &'static dyn crate::backend::GemmBackend) -> Self {
-        Self { spec, backend }
+        Self {
+            spec,
+            backend,
+            packed_a: None,
+            packed_b: None,
+        }
+    }
+
+    /// Caches the left operand in the backend's packed-panel layout (a
+    /// no-op on backends that do not pack). Every later `execute*` call
+    /// **must** pass the same logical `A` it would pass without caching —
+    /// the raw slice stays the source of truth for non-packing backends
+    /// and for batch items the cache does not cover.
+    ///
+    /// This is the plan-time amortization step of the paper's kernel
+    /// story: the DG operator matrices are multiplied by every cell block
+    /// of every step, so their panels are packed once per plan.
+    pub fn with_packed_a(mut self, a: &[f64]) -> Self {
+        self.packed_a = self.backend.pack_a(&self.spec, a).map(std::sync::Arc::new);
+        self
+    }
+
+    /// Caches the right operand in the backend's packed-panel layout (see
+    /// [`with_packed_a`](Self::with_packed_a)).
+    pub fn with_packed_b(mut self, b: &[f64]) -> Self {
+        self.packed_b = self.backend.pack_b(&self.spec, b).map(std::sync::Arc::new);
+        self
+    }
+
+    /// The plan-cached packed operands, if any.
+    fn packed(&self) -> crate::micro::PackedOperands<'_> {
+        crate::micro::PackedOperands {
+            a: self.packed_a.as_deref(),
+            b: self.packed_b.as_deref(),
+        }
+    }
+
+    /// Debug guard: cached panels must describe the operands actually
+    /// passed (spot-checks the first packed element).
+    #[cfg(debug_assertions)]
+    fn debug_check_packed(&self, a: &[f64], b: &[f64]) {
+        if self.spec.k == 0 {
+            return;
+        }
+        if let Some(p) = &self.packed_a {
+            if self.spec.m > 0 {
+                debug_assert_eq!(
+                    p.panel(0)[0],
+                    a[0],
+                    "packed A panels out of sync with the raw operand"
+                );
+            }
+        }
+        if let Some(p) = &self.packed_b {
+            if self.spec.n > 0 {
+                debug_assert_eq!(
+                    p.panel(0)[0],
+                    b[0],
+                    "packed B panels out of sync with the raw operand"
+                );
+            }
+        }
     }
 
     /// The descriptor this plan executes.
@@ -370,10 +430,14 @@ impl Gemm {
         self.backend.isa()
     }
 
-    /// Runs the planned multiplication on whole buffers.
+    /// Runs the planned multiplication on whole buffers, reading
+    /// plan-cached packed panels where present.
     #[inline]
     pub fn execute(&self, a: &[f64], b: &[f64], c: &mut [f64]) {
-        self.backend.execute(&self.spec, a, b, c);
+        #[cfg(debug_assertions)]
+        self.debug_check_packed(a, b);
+        self.backend
+            .execute_packed(&self.spec, a, b, c, self.packed());
     }
 
     /// Runs the planned multiplication on tensor slices given by offsets —
@@ -398,7 +462,10 @@ impl Gemm {
     /// of reloading it per cell.
     #[inline]
     pub fn execute_batched(&self, batch: &GemmBatch, a: &[f64], b: &[f64], c: &mut [f64]) {
-        self.backend.run_batched(&self.spec, batch, a, b, c);
+        #[cfg(debug_assertions)]
+        self.debug_check_packed(a, b);
+        self.backend
+            .run_batched_packed(&self.spec, batch, a, b, c, self.packed());
     }
 
     /// Useful flops per execution.

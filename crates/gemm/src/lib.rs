@@ -14,10 +14,17 @@
 
 pub mod backend;
 pub mod kernels;
+pub mod micro;
+pub mod simd;
 pub mod spec;
 
 pub use backend::{
     backend_by_name, backends, rank_backends, rank_backends_batched, select_backend, GemmBackend,
+    BACKEND_ENV,
 };
 pub use kernels::{gemm_autovec, gemm_autovec_batched, gemm_naive, Gemm, Isa};
+pub use micro::{
+    pack_a_panels, pack_b_panels, Microkernel, PackedOperands, PackedPanels, PanelSide,
+};
+pub use simd::{F64s, SimdF64};
 pub use spec::{GemmBatch, GemmSpec};

@@ -1,0 +1,954 @@
+//! Register-tiled packed GEMM microkernels (the LIBXSMM-style kernel
+//! layer, paper Sec. II-D).
+//!
+//! The autovectorized kernels in [`crate::kernels`] multiply straight out
+//! of the operand buffers. This module adds the classic high-performance
+//! alternative: an MR×NR **microkernel** that walks *packed panels* —
+//! operands re-laid-out so the inner loop reads both matrices with unit
+//! stride and zero edge handling:
+//!
+//! * `A` is packed into row panels of `MR` rows: panel `p` stores
+//!   `A[p·MR + r][l]` at `[l·MR + r]` (column-major within the panel), so
+//!   one scalar broadcast per row feeds the FMA chain.
+//! * `B` is packed into column panels of `NR` columns: panel `p` stores
+//!   `B[l][p·NR + t]` at `[l·NR + t]`, one contiguous vector row per `l`.
+//!
+//! Partial edge panels are packed **zero-padded** to full tile size, so
+//! the inner loop never branches on tail lanes — the microkernel computes
+//! full tiles unconditionally and only the *store* distinguishes
+//! `used_rows × used_cols` from the full tile.
+//!
+//! The inner body is written once, generically over the portable SIMD
+//! layer ([`crate::simd`]) with the tile shape as const generics, and
+//! instantiated per ISA through `#[target_feature]` wrappers — the same
+//! monomorphization pattern the autovec kernels use, but with the
+//! vector shape pinned instead of left to the autovectorizer.
+//!
+//! The [`Microkernel`] trait packages one instantiation (tile dims,
+//! packing, driver) behind a dyn-safe interface; the packed
+//! [`GemmBackend`](crate::backend::GemmBackend)s own one microkernel each
+//! and thread plan-cached panels through [`PackedOperands`]. The trait
+//! granularity is one *whole GEMM*, not one tile: the hot shapes run
+//! hundreds of sub-microsecond tiles per call, so per-tile virtual
+//! dispatch would cost a measurable fraction of the kernel itself.
+
+use crate::simd::{FmaF64x4, FmaF64x8, PortableF64x4, SimdF64};
+use crate::spec::{GemmBatch, GemmSpec};
+
+/// Largest `MR` any registered microkernel uses (bounds stack scratch).
+pub const MR_CAP: usize = 8;
+/// Largest `NR` any registered microkernel uses (bounds stack scratch).
+pub const NR_CAP: usize = 16;
+/// Largest `k` whose partial-tile packing fits in stack scratch; deeper
+/// contractions (never produced by the DG plans, which contract over at
+/// most `order + 1 ≤ 12` nodes) fall back to a heap buffer.
+const K_STACK: usize = 32;
+
+/// Which operand a [`PackedPanels`] buffer was packed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanelSide {
+    /// Left operand: row panels of `MR` rows.
+    A,
+    /// Right operand: column panels of `NR` columns.
+    B,
+}
+
+/// An operand repacked into zero-padded microkernel panels.
+///
+/// Produced by [`Microkernel::pack_a_block`] / [`Microkernel::pack_b_block`]
+/// (or the free functions [`pack_a_panels`] / [`pack_b_panels`]); cached
+/// per plan for operands that are reused across many calls — the DG
+/// operator matrices, which every cell block in every step multiplies by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedPanels {
+    data: Vec<f64>,
+    tile: usize,
+    k: usize,
+    len: usize,
+    side: PanelSide,
+}
+
+impl PackedPanels {
+    /// Which operand side these panels serve.
+    pub fn side(&self) -> PanelSide {
+        self.side
+    }
+
+    /// Panel tile size (`MR` for A-side, `NR` for B-side).
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Contraction depth the panels were packed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical extent covered (`m` for A-side, `n` for B-side).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the packed extent is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of panels.
+    pub fn panels(&self) -> usize {
+        self.len.div_ceil(self.tile)
+    }
+
+    /// One zero-padded panel: `tile · k` doubles.
+    pub fn panel(&self, i: usize) -> &[f64] {
+        let pl = self.tile * self.k;
+        &self.data[i * pl..(i + 1) * pl]
+    }
+
+    /// Whether these panels fit a kernel expecting the given geometry.
+    pub fn matches(&self, side: PanelSide, tile: usize, k: usize, len: usize) -> bool {
+        self.side == side && self.tile == tile && self.k == k && self.len == len
+    }
+}
+
+/// Packs the left operand of `spec` into zero-padded `mr`-row panels.
+pub fn pack_a_panels(spec: &GemmSpec, a: &[f64], mr: usize) -> PackedPanels {
+    assert!(mr >= 1, "mr must be positive");
+    let (ra, _, _) = spec.required_lens();
+    assert!(a.len() >= ra, "A too short to pack: {} < {ra}", a.len());
+    let panels = spec.m.div_ceil(mr);
+    let mut data = vec![0.0; panels * mr * spec.k];
+    for p in 0..panels {
+        let i0 = p * mr;
+        let rows = mr.min(spec.m - i0);
+        let dst = &mut data[p * mr * spec.k..][..mr * spec.k];
+        for r in 0..rows {
+            for l in 0..spec.k {
+                dst[l * mr + r] = a[(i0 + r) * spec.lda + l];
+            }
+        }
+    }
+    PackedPanels {
+        data,
+        tile: mr,
+        k: spec.k,
+        len: spec.m,
+        side: PanelSide::A,
+    }
+}
+
+/// Packs the right operand of `spec` into zero-padded `nr`-column panels.
+pub fn pack_b_panels(spec: &GemmSpec, b: &[f64], nr: usize) -> PackedPanels {
+    assert!(nr >= 1, "nr must be positive");
+    let (_, rb, _) = spec.required_lens();
+    assert!(b.len() >= rb, "B too short to pack: {} < {rb}", b.len());
+    let panels = spec.n.div_ceil(nr);
+    let mut data = vec![0.0; panels * nr * spec.k];
+    for p in 0..panels {
+        let j0 = p * nr;
+        let cols = nr.min(spec.n - j0);
+        let dst = &mut data[p * nr * spec.k..][..nr * spec.k];
+        for l in 0..spec.k {
+            for t in 0..cols {
+                dst[l * nr + t] = b[l * spec.ldb + j0 + t];
+            }
+        }
+    }
+    PackedPanels {
+        data,
+        tile: nr,
+        k: spec.k,
+        len: spec.n,
+        side: PanelSide::B,
+    }
+}
+
+/// Optional pre-packed panels threaded alongside the raw operands.
+///
+/// The raw slices stay authoritative — a kernel uses a panel only when it
+/// matches its own tile geometry, so callers can hand the same
+/// `PackedOperands` to any backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PackedOperands<'p> {
+    /// Panels packed from the left operand ([`PanelSide::A`]).
+    pub a: Option<&'p PackedPanels>,
+    /// Panels packed from the right operand ([`PanelSide::B`]).
+    pub b: Option<&'p PackedPanels>,
+}
+
+impl<'p> PackedOperands<'p> {
+    /// No pre-packed operands.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// One register-tiled microkernel instantiation: tile geometry, panel
+/// packing, and the tiled whole-GEMM driver.
+pub trait Microkernel: Send + Sync + std::fmt::Debug {
+    /// Short identifier (e.g. `avx512_8x8`).
+    fn name(&self) -> &'static str;
+
+    /// Register tile height (rows of `C` held in accumulators).
+    fn mr(&self) -> usize;
+
+    /// Register tile width in doubles.
+    fn nr(&self) -> usize;
+
+    /// Runtime probe: can the host execute this kernel?
+    fn supported(&self) -> bool;
+
+    /// Packs the left operand into this kernel's row-panel layout.
+    fn pack_a_block(&self, spec: &GemmSpec, a: &[f64]) -> PackedPanels {
+        pack_a_panels(spec, a, self.mr())
+    }
+
+    /// Packs the right operand into this kernel's column-panel layout.
+    fn pack_b_block(&self, spec: &GemmSpec, b: &[f64]) -> PackedPanels {
+        pack_b_panels(spec, b, self.nr())
+    }
+
+    /// Runs `C ← α·A·B + β·C` per `spec`, reading packed panels where
+    /// `packed` provides them (a mismatched panel is a panic, not a wrong
+    /// answer) and packing partial edge tiles on the fly otherwise.
+    ///
+    /// # Safety
+    /// The host must support this kernel ([`supported`](Self::supported)).
+    unsafe fn kernel(
+        &self,
+        spec: &GemmSpec,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    );
+}
+
+/// Validates operands and panels before a kernel run (shared by every
+/// [`Microkernel`] impl).
+fn check_kernel_args(
+    micro: &dyn Microkernel,
+    spec: &GemmSpec,
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    packed: PackedOperands<'_>,
+) {
+    spec.check(a, b, c);
+    if let Some(p) = packed.a {
+        assert!(
+            p.matches(PanelSide::A, micro.mr(), spec.k, spec.m),
+            "packed A panels (tile {} k {} len {}) do not fit {} on {:?}",
+            p.tile(),
+            p.k(),
+            p.len(),
+            micro.name(),
+            spec
+        );
+    }
+    if let Some(p) = packed.b {
+        assert!(
+            p.matches(PanelSide::B, micro.nr(), spec.k, spec.n),
+            "packed B panels (tile {} k {} len {}) do not fit {} on {:?}",
+            p.tile(),
+            p.k(),
+            p.len(),
+            micro.name(),
+            spec
+        );
+    }
+}
+
+/// Accumulates one full `MR × (NV·LANES)` tile over `k` terms.
+///
+/// `A` is addressed as `a[l·a_stride_l + r·a_stride_r]` — `(MR, 1)` for a
+/// packed panel, `(1, lda)` for an unpacked full-height row panel — and
+/// `B` as `b[l·b_stride_l + t]` (`nr` packed, `ldb` unpacked).
+///
+/// # Safety
+/// Both pointers must be valid for every index the strides generate over
+/// `l < k`, `r < MR`, `t < NV·LANES`.
+#[inline(always)]
+unsafe fn tile_acc<S: SimdF64, const MR: usize, const NV: usize>(
+    k: usize,
+    a: *const f64,
+    a_stride_l: usize,
+    a_stride_r: usize,
+    b: *const f64,
+    b_stride_l: usize,
+) -> [[S; NV]; MR] {
+    let mut acc = [[S::zero(); NV]; MR];
+    for l in 0..k {
+        let mut bv = [S::zero(); NV];
+        for (v, bvv) in bv.iter_mut().enumerate() {
+            // SAFETY: caller guarantees the index is in bounds.
+            *bvv = unsafe { S::load(b.add(l * b_stride_l + v * S::LANES)) };
+        }
+        for r in 0..MR {
+            // SAFETY: caller guarantees the index is in bounds.
+            let av = S::splat(unsafe { *a.add(l * a_stride_l + r * a_stride_r) });
+            for v in 0..NV {
+                acc[r][v] = acc[r][v].fma(av, bv[v]);
+            }
+        }
+    }
+    acc
+}
+
+/// Scales and stores one full tile: `C ← α·acc + β·C` (with `β = 0`
+/// never reading `C`, so garbage/NaN contents are overwritten).
+///
+/// # Safety
+/// `c` must be valid for the full `MR × NV·LANES` tile at row stride `ldc`.
+#[inline(always)]
+unsafe fn store_tile<S: SimdF64, const MR: usize, const NV: usize>(
+    acc: &[[S; NV]; MR],
+    c: *mut f64,
+    ldc: usize,
+    alpha: f64,
+    beta: f64,
+) {
+    let va = S::splat(alpha);
+    let vb = S::splat(beta);
+    for (r, row) in acc.iter().enumerate() {
+        for (v, &av) in row.iter().enumerate() {
+            // SAFETY: caller guarantees the tile is in bounds.
+            unsafe {
+                let p = c.add(r * ldc + v * S::LANES);
+                let mut x = av.mul(va);
+                if beta != 0.0 {
+                    x = x.add(S::load(p).mul(vb));
+                }
+                x.store(p);
+            }
+        }
+    }
+}
+
+/// Stores the `used_rows × used_cols` corner of a tile (edge tiles whose
+/// remaining lanes are padding computed over packed zeros).
+///
+/// # Safety
+/// `c` must be valid for `used_rows` rows of `used_cols` doubles at row
+/// stride `ldc`.
+#[inline(always)]
+unsafe fn store_tile_partial<S: SimdF64, const MR: usize, const NV: usize>(
+    acc: &[[S; NV]; MR],
+    c: *mut f64,
+    ldc: usize,
+    used_rows: usize,
+    used_cols: usize,
+    alpha: f64,
+    beta: f64,
+) {
+    let nr = NV * S::LANES;
+    let mut tmp = [0.0f64; MR_CAP * NR_CAP];
+    for (r, row) in acc.iter().enumerate() {
+        for (v, &av) in row.iter().enumerate() {
+            // SAFETY: `MR·NR ≤ MR_CAP·NR_CAP` by the registration caps.
+            unsafe { av.store(tmp.as_mut_ptr().add(r * nr + v * S::LANES)) };
+        }
+    }
+    for r in 0..used_rows {
+        for j in 0..used_cols {
+            // SAFETY: caller guarantees the corner is in bounds.
+            unsafe {
+                let p = c.add(r * ldc + j);
+                let x = alpha * tmp[r * nr + j];
+                *p = if beta == 0.0 { x } else { x + beta * *p };
+            }
+        }
+    }
+}
+
+/// Packs a partial (`rows < mr`) row panel into zero-padded scratch.
+#[inline(always)]
+fn pack_partial_a(dst: &mut [f64], a: &[f64], lda: usize, i0: usize, rows: usize, mr: usize) {
+    let k = dst.len() / mr;
+    dst.fill(0.0);
+    for r in 0..rows {
+        for l in 0..k {
+            dst[l * mr + r] = a[(i0 + r) * lda + l];
+        }
+    }
+}
+
+/// Packs a partial (`cols < nr`) column panel into zero-padded scratch.
+#[inline(always)]
+fn pack_partial_b(dst: &mut [f64], b: &[f64], ldb: usize, j0: usize, cols: usize, nr: usize) {
+    let k = dst.len() / nr;
+    dst.fill(0.0);
+    for l in 0..k {
+        for t in 0..cols {
+            dst[l * nr + t] = b[l * ldb + j0 + t];
+        }
+    }
+}
+
+/// The shared tiled driver: loops row panels × column tiles, sourcing each
+/// side from plan-cached panels, the raw buffer (full tiles), or on-the-fly
+/// zero-padded scratch (edge tiles). `#[inline(always)]` so each
+/// `target_feature` wrapper monomorphizes its own full-width copy.
+///
+/// # Safety
+/// Operands must satisfy `spec.check`, and provided panels must match the
+/// `(MR, NV·LANES, k, extent)` geometry — both enforced by
+/// [`check_kernel_args`] in every public caller.
+#[inline(always)]
+unsafe fn gemm_tiled<S: SimdF64, const MR: usize, const NV: usize>(
+    spec: &GemmSpec,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    packed: PackedOperands<'_>,
+) {
+    let &GemmSpec {
+        m,
+        n,
+        k,
+        lda,
+        ldb,
+        ldc,
+        alpha,
+        beta,
+    } = spec;
+    let nr = NV * S::LANES;
+    debug_assert!(MR <= MR_CAP && nr <= NR_CAP);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        // Pure β pass; keep the β = 0 "never read C" contract.
+        for i in 0..m {
+            for j in 0..n {
+                let cj = &mut c[i * ldc + j];
+                *cj = if beta == 0.0 { 0.0 } else { beta * *cj };
+            }
+        }
+        return;
+    }
+
+    // Scratch for zero-padded edge panels. The DG contraction depths all
+    // fit the stack buffers; anything deeper packs into a heap buffer.
+    let mut astack = [0.0f64; MR_CAP * K_STACK];
+    let mut bstack = [0.0f64; K_STACK * NR_CAP];
+    let (mut aheap, mut bheap) = if k > K_STACK {
+        (vec![0.0f64; MR * k], vec![0.0f64; k * nr])
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let use_heap = k > K_STACK;
+
+    for ip in 0..m.div_ceil(MR) {
+        let i0 = ip * MR;
+        let rows = MR.min(m - i0);
+        let (ap, a_l, a_r) = if let Some(p) = packed.a {
+            (p.panel(ip).as_ptr(), MR, 1)
+        } else if rows == MR {
+            (a[i0 * lda..].as_ptr(), 1, lda)
+        } else {
+            let buf: &mut [f64] = if use_heap {
+                &mut aheap
+            } else {
+                &mut astack[..MR * k]
+            };
+            pack_partial_a(buf, a, lda, i0, rows, MR);
+            (buf.as_ptr(), MR, 1)
+        };
+        for jp in 0..n.div_ceil(nr) {
+            let j0 = jp * nr;
+            let cols = nr.min(n - j0);
+            let (bp, b_l) = if let Some(p) = packed.b {
+                (p.panel(jp).as_ptr(), nr)
+            } else if cols == nr {
+                (b[j0..].as_ptr(), ldb)
+            } else {
+                let buf: &mut [f64] = if use_heap {
+                    &mut bheap
+                } else {
+                    &mut bstack[..k * nr]
+                };
+                pack_partial_b(buf, b, ldb, j0, cols, nr);
+                (buf.as_ptr(), nr)
+            };
+            // SAFETY: packed panels are zero-padded to full tiles; the
+            // unpacked paths are taken only for full tiles, where
+            // `spec.check` bounds every generated index.
+            let acc = unsafe { tile_acc::<S, MR, NV>(k, ap, a_l, a_r, bp, b_l) };
+            let cp = c[i0 * ldc + j0..].as_mut_ptr();
+            // SAFETY: `rows × cols` starting at `(i0, j0)` is in bounds.
+            unsafe {
+                if rows == MR && cols == nr {
+                    store_tile::<S, MR, NV>(&acc, cp, ldc, alpha, beta);
+                } else {
+                    store_tile_partial::<S, MR, NV>(&acc, cp, ldc, rows, cols, alpha, beta);
+                }
+            }
+        }
+    }
+}
+
+/// [`gemm_tiled`] with the contraction depth fixed at compile time — the
+/// "generated kernel" trick shared with the autovec path: the `k` loop is
+/// fully unrolled for the depths the DG derivative GEMMs actually use.
+#[inline(always)]
+unsafe fn gemm_tiled_k<S: SimdF64, const MR: usize, const NV: usize, const K: usize>(
+    spec: &GemmSpec,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    packed: PackedOperands<'_>,
+) {
+    debug_assert_eq!(spec.k, K);
+    let fixed = GemmSpec { k: K, ..*spec };
+    // SAFETY: forwarded contract; `fixed` describes the same problem.
+    unsafe { gemm_tiled::<S, MR, NV>(&fixed, a, b, c, packed) }
+}
+
+/// Dispatches to a compile-time-`K` instantiation for common DG depths.
+#[inline(always)]
+unsafe fn gemm_tiled_dispatch<S: SimdF64, const MR: usize, const NV: usize>(
+    spec: &GemmSpec,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    packed: PackedOperands<'_>,
+) {
+    // SAFETY: forwarded contract (see `gemm_tiled`).
+    unsafe {
+        match spec.k {
+            2 => gemm_tiled_k::<S, MR, NV, 2>(spec, a, b, c, packed),
+            3 => gemm_tiled_k::<S, MR, NV, 3>(spec, a, b, c, packed),
+            4 => gemm_tiled_k::<S, MR, NV, 4>(spec, a, b, c, packed),
+            5 => gemm_tiled_k::<S, MR, NV, 5>(spec, a, b, c, packed),
+            6 => gemm_tiled_k::<S, MR, NV, 6>(spec, a, b, c, packed),
+            7 => gemm_tiled_k::<S, MR, NV, 7>(spec, a, b, c, packed),
+            8 => gemm_tiled_k::<S, MR, NV, 8>(spec, a, b, c, packed),
+            9 => gemm_tiled_k::<S, MR, NV, 9>(spec, a, b, c, packed),
+            10 => gemm_tiled_k::<S, MR, NV, 10>(spec, a, b, c, packed),
+            11 => gemm_tiled_k::<S, MR, NV, 11>(spec, a, b, c, packed),
+            12 => gemm_tiled_k::<S, MR, NV, 12>(spec, a, b, c, packed),
+            _ => gemm_tiled::<S, MR, NV>(spec, a, b, c, packed),
+        }
+    }
+}
+
+/// Portable microkernel: 4×8 tiles over [`PortableF64x4`] (always
+/// supported; unfused multiply-add, so no libm `fma` on any host).
+#[derive(Debug, Clone, Copy)]
+pub struct PortableMicrokernel;
+
+impl Microkernel for PortableMicrokernel {
+    fn name(&self) -> &'static str {
+        "portable_4x8"
+    }
+
+    fn mr(&self) -> usize {
+        4
+    }
+
+    fn nr(&self) -> usize {
+        8
+    }
+
+    fn supported(&self) -> bool {
+        true
+    }
+
+    unsafe fn kernel(
+        &self,
+        spec: &GemmSpec,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        check_kernel_args(self, spec, a, b, c, packed);
+        // SAFETY: operands and panels validated; no ISA requirement.
+        unsafe { gemm_tiled_dispatch::<PortableF64x4, 4, 2>(spec, a, b, c, packed) }
+    }
+}
+
+/// AVX2+FMA microkernel: 4×8 tiles, two `ymm` accumulator columns.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2Microkernel;
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel_avx2(
+    spec: &GemmSpec,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    packed: PackedOperands<'_>,
+) {
+    // SAFETY: forwarded contract (see `gemm_tiled`).
+    unsafe { gemm_tiled_dispatch::<FmaF64x4, 4, 2>(spec, a, b, c, packed) }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl Microkernel for Avx2Microkernel {
+    fn name(&self) -> &'static str {
+        "avx2_4x8"
+    }
+
+    fn mr(&self) -> usize {
+        4
+    }
+
+    fn nr(&self) -> usize {
+        8
+    }
+
+    fn supported(&self) -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    unsafe fn kernel(
+        &self,
+        spec: &GemmSpec,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        check_kernel_args(self, spec, a, b, c, packed);
+        // SAFETY: caller guarantees AVX2+FMA (trait contract).
+        unsafe { kernel_avx2(spec, a, b, c, packed) }
+    }
+}
+
+/// AVX-512 microkernel for narrow outputs: 8×8 tiles, one `zmm`
+/// accumulator column — exact fit for the zero-padded `n_pad = 8` AoSoA
+/// layout the fused `d = 0` derivative GEMM produces.
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct Avx512Microkernel;
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+unsafe fn kernel_avx512(
+    spec: &GemmSpec,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    packed: PackedOperands<'_>,
+) {
+    // SAFETY: forwarded contract (see `gemm_tiled`).
+    unsafe { gemm_tiled_dispatch::<FmaF64x8, 8, 1>(spec, a, b, c, packed) }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx512_supported() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+        && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(target_arch = "x86_64")]
+impl Microkernel for Avx512Microkernel {
+    fn name(&self) -> &'static str {
+        "avx512_8x8"
+    }
+
+    fn mr(&self) -> usize {
+        8
+    }
+
+    fn nr(&self) -> usize {
+        8
+    }
+
+    fn supported(&self) -> bool {
+        avx512_supported()
+    }
+
+    unsafe fn kernel(
+        &self,
+        spec: &GemmSpec,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        check_kernel_args(self, spec, a, b, c, packed);
+        // SAFETY: caller guarantees AVX-512F/VL+FMA (trait contract).
+        unsafe { kernel_avx512(spec, a, b, c, packed) }
+    }
+}
+
+/// AVX-512 microkernel for wide outputs: 4×16 tiles, two `zmm`
+/// accumulator columns — fewer broadcast loads per FMA than the 8×8
+/// kernel, preferred when `n` is a multiple of 16 (the fused `d ≥ 1`
+/// derivative GEMMs at even node counts).
+#[cfg(target_arch = "x86_64")]
+#[derive(Debug, Clone, Copy)]
+pub struct Avx512WideMicrokernel;
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vl,fma")]
+unsafe fn kernel_avx512_wide(
+    spec: &GemmSpec,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    packed: PackedOperands<'_>,
+) {
+    // SAFETY: forwarded contract (see `gemm_tiled`).
+    unsafe { gemm_tiled_dispatch::<FmaF64x8, 4, 2>(spec, a, b, c, packed) }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl Microkernel for Avx512WideMicrokernel {
+    fn name(&self) -> &'static str {
+        "avx512_4x16"
+    }
+
+    fn mr(&self) -> usize {
+        4
+    }
+
+    fn nr(&self) -> usize {
+        16
+    }
+
+    fn supported(&self) -> bool {
+        avx512_supported()
+    }
+
+    unsafe fn kernel(
+        &self,
+        spec: &GemmSpec,
+        a: &[f64],
+        b: &[f64],
+        c: &mut [f64],
+        packed: PackedOperands<'_>,
+    ) {
+        check_kernel_args(self, spec, a, b, c, packed);
+        // SAFETY: caller guarantees AVX-512F/VL+FMA (trait contract).
+        unsafe { kernel_avx512_wide(spec, a, b, c, packed) }
+    }
+}
+
+/// Shared batched driver for the packed backends: fuses row-stacked
+/// shared-`B` batches into one tall kernel call (plan-cached `B` panels
+/// survive fusion because only `m` changes), and otherwise loops items
+/// with exact-length sub-slices so an out-of-bounds stride fails loudly.
+/// Per-item panels apply only to operands the batch actually shares
+/// (stride 0).
+///
+/// # Safety
+/// The host must support `micro`.
+pub(crate) unsafe fn run_batched_micro(
+    micro: &dyn Microkernel,
+    spec: &GemmSpec,
+    batch: &GemmBatch,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    packed: PackedOperands<'_>,
+) {
+    batch.check(spec, a, b, c);
+    if let Some(fused) = batch.fuse_rows(spec) {
+        // A-side panels describe the per-item `m`, not the fused tall
+        // matrix; only shared-B panels carry over.
+        let fused_packed = PackedOperands {
+            a: None,
+            b: packed.b,
+        };
+        // SAFETY: forwarded support contract.
+        unsafe { micro.kernel(&fused, a, b, c, fused_packed) };
+        return;
+    }
+    let (ra, rb, rc) = spec.required_lens();
+    for i in 0..batch.count {
+        let (ao, bo, co) = (i * batch.stride_a, i * batch.stride_b, i * batch.stride_c);
+        let item = PackedOperands {
+            a: if batch.stride_a == 0 { packed.a } else { None },
+            b: if batch.stride_b == 0 { packed.b } else { None },
+        };
+        // SAFETY: forwarded support contract; `batch.check` bounded every
+        // sub-slice.
+        unsafe {
+            micro.kernel(
+                spec,
+                &a[ao..ao + ra],
+                &b[bo..bo + rb],
+                &mut c[co..co + rc],
+                item,
+            )
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm_naive;
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f64> {
+        aderdg_tensor::Lcg::new(seed).vec(len.max(1), -1.0, 1.0)
+    }
+
+    fn check_micro(micro: &dyn Microkernel, spec: GemmSpec, seed: u64, pack: (bool, bool)) {
+        if !micro.supported() {
+            return;
+        }
+        let (ra, rb, rc) = spec.required_lens();
+        let a = rand_vec(ra, seed);
+        let b = rand_vec(rb, seed ^ 0xB0B);
+        let c0 = rand_vec(rc, seed ^ 0xC0C);
+
+        let mut c_ref = c0.clone();
+        gemm_naive(&spec, &a, &b, &mut c_ref);
+
+        let pa = pack.0.then(|| micro.pack_a_block(&spec, &a));
+        let pb = pack.1.then(|| micro.pack_b_block(&spec, &b));
+        let mut c_got = c0.clone();
+        // SAFETY: `supported` checked above.
+        unsafe {
+            micro.kernel(
+                &spec,
+                &a,
+                &b,
+                &mut c_got,
+                PackedOperands {
+                    a: pa.as_ref(),
+                    b: pb.as_ref(),
+                },
+            )
+        };
+        for (i, (g, w)) in c_got.iter().zip(&c_ref).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-13 * (1.0 + w.abs()),
+                "{} spec={spec:?} pack={pack:?} idx={i}: {g} vs {w}",
+                micro.name()
+            );
+        }
+    }
+
+    fn all_kernels() -> Vec<&'static dyn Microkernel> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            vec![
+                &PortableMicrokernel,
+                &Avx2Microkernel,
+                &Avx512Microkernel,
+                &Avx512WideMicrokernel,
+            ]
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            vec![&PortableMicrokernel]
+        }
+    }
+
+    #[test]
+    fn packing_layout_is_panelwise_column_major() {
+        // 3×2 A with lda 3, packed at mr = 2: two panels, second zero-padded.
+        let spec = GemmSpec::dense(3, 1, 2).with_ld(3, 1, 1);
+        let a = [1.0, 2.0, 99.0, 3.0, 4.0, 99.0, 5.0, 6.0, 99.0];
+        let p = pack_a_panels(&spec, &a, 2);
+        assert_eq!(p.panels(), 2);
+        assert_eq!(p.panel(0), &[1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(p.panel(1), &[5.0, 0.0, 6.0, 0.0]);
+
+        // 2×3 B with ldb 4, packed at nr = 2.
+        let spec = GemmSpec::dense(1, 3, 2).with_ld(2, 4, 3);
+        let b = [1.0, 2.0, 3.0, 99.0, 4.0, 5.0, 6.0, 99.0];
+        let p = pack_b_panels(&spec, &b, 2);
+        assert_eq!(p.panels(), 2);
+        assert_eq!(p.panel(0), &[1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(p.panel(1), &[3.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn every_kernel_matches_naive_with_and_without_panels() {
+        let shapes = [
+            (1, 1, 1),
+            (4, 8, 5),
+            (8, 8, 5),
+            (9, 7, 3),
+            (17, 23, 6),
+            (5, 16, 11),
+            (21, 40, 13),
+        ];
+        for micro in all_kernels() {
+            for (i, &(m, n, k)) in shapes.iter().enumerate() {
+                for &pack in &[(false, false), (true, false), (false, true), (true, true)] {
+                    let spec = GemmSpec::dense(m, n, k).with_scale(1.25, -0.5);
+                    check_micro(micro, spec, 40 + i as u64, pack);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_handles_strided_operands() {
+        for micro in all_kernels() {
+            let spec = GemmSpec::dense(6, 10, 4).with_ld(7, 13, 11);
+            check_micro(micro, spec, 77, (true, true));
+            check_micro(micro, spec, 78, (false, false));
+        }
+    }
+
+    #[test]
+    fn zero_depth_is_a_pure_beta_pass() {
+        let spec = GemmSpec::dense(3, 4, 0).with_scale(2.0, 0.5);
+        let mut c = vec![2.0; 12];
+        // SAFETY: portable kernel has no ISA requirement.
+        unsafe {
+            PortableMicrokernel.kernel(&spec, &[], &[], &mut c, PackedOperands::none());
+        }
+        assert!(c.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn beta_zero_never_reads_c() {
+        let spec = GemmSpec::dense(5, 9, 3);
+        let a = vec![1.0; 15];
+        let b = vec![1.0; 27];
+        for micro in all_kernels() {
+            if !micro.supported() {
+                continue;
+            }
+            let mut c = vec![f64::NAN; 45];
+            // SAFETY: `supported` checked above.
+            unsafe { micro.kernel(&spec, &a, &b, &mut c, PackedOperands::none()) };
+            assert!(c.iter().all(|&x| x == 3.0), "{}", micro.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "packed A panels")]
+    fn mismatched_panels_panic() {
+        let spec = GemmSpec::dense(4, 8, 3);
+        let a = vec![0.0; 12];
+        let b = vec![0.0; 24];
+        let mut c = vec![0.0; 32];
+        let wrong = pack_a_panels(&GemmSpec::dense(5, 8, 3), &[0.0; 15], 4);
+        // SAFETY: portable kernel has no ISA requirement.
+        unsafe {
+            PortableMicrokernel.kernel(
+                &spec,
+                &a,
+                &b,
+                &mut c,
+                PackedOperands {
+                    a: Some(&wrong),
+                    b: None,
+                },
+            )
+        };
+    }
+
+    #[test]
+    fn deep_contraction_uses_heap_scratch() {
+        // k beyond K_STACK exercises the heap fallback for edge packing.
+        let spec = GemmSpec::dense(5, 7, K_STACK + 3);
+        for micro in all_kernels() {
+            check_micro(micro, spec, 91, (false, false));
+        }
+    }
+}
