@@ -720,10 +720,11 @@ impl<P: LinearPde> Engine<P> {
 
     /// The face-centric shard pipeline. Three tasks per shard — predictor,
     /// once-per-face flux sweep over the shard's *owned* faces, and
-    /// volume + face application — run on the dependency scheduler
-    /// ([`par::run_graph_init`]): a shard's sweep starts as soon as its
-    /// own and its face-neighbours' predictors are done, with no global
-    /// barrier.
+    /// volume + face application — run on the persistent work-stealing
+    /// pool's graph executor ([`par::run_graph_init`]): a shard's sweep
+    /// starts as soon as its own and its face-neighbours' predictors are
+    /// done, with no global barrier, and each finished task pushes the
+    /// dependents it unlocks onto the finishing worker's own deque.
     ///
     /// Determinism: every face flux is computed exactly once (by one
     /// task, from fixed predictor outputs) into the face-indexed buffer,

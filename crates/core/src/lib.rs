@@ -5,7 +5,8 @@
 //! (generic scalar, Loop-over-GEMM, dimension-split Cauchy-Kowalewsky, and
 //! AoSoA SplitCK with vectorized user functions), plus the surrounding
 //! scheme — face projection, Rusanov Riemann solver, corrector step, CFL
-//! time stepping and a rayon-parallel cell loop.
+//! time stepping and a persistent work-stealing worker pool ([`par`])
+//! driving the cell loops and the sharded task graph.
 
 #![warn(missing_docs)]
 
@@ -18,6 +19,7 @@ pub mod mix;
 pub mod output;
 pub mod par;
 pub mod plan;
+mod pool;
 pub mod registry;
 pub mod riemann;
 pub mod scenario;
