@@ -22,13 +22,16 @@
 
 pub mod toml;
 
+use aderdg_core::checkpoint::Checkpoint;
 use aderdg_core::engine::PipelineMode;
+use aderdg_core::jobs::{JobQueue, JobStatus};
 use aderdg_core::scenario::{RunRequest, RunSummary, ScenarioRegistry};
-use aderdg_core::spec::{parse_auto_size, parse_rule, parse_width};
-use aderdg_core::tune::TuningMode;
 use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+pub use aderdg_core::report::{render_summary, write_receivers_csv, write_series_csv};
 
 /// A user-facing CLI error (bad flag, bad value, failed run); never a
 /// panic.
@@ -87,6 +90,16 @@ RUN OPTIONS:
   --out <file>              write the checkpoint time series as CSV
   --snapshot <file>         write the final nodal state as CSV
   --receivers <file>        write receiver seismograms as CSV
+  --save-checkpoint <file>  save a resumable engine checkpoint when the run
+                            completes (or pauses)
+  --resume <file>           resume from a saved checkpoint; solver knobs
+                            default to the saved ones, flags still override
+
+BATCH OPTIONS:
+  --sweep <key=v1,v2,…>     run every combination of the swept keys through
+                            the job queue (repeatable to cross keys;
+                            `kernel=*` expands to every registered kernel)
+  --jobs <n>                concurrent sweep jobs (default min(combos, 4))
 ";
 
 /// A fully parsed run invocation.
@@ -100,6 +113,13 @@ pub struct RunArgs {
     pub out: Option<PathBuf>,
     /// Receiver-seismogram CSV destination.
     pub receivers: Option<PathBuf>,
+    /// Checkpoint to resume from (`--resume`); the saved knobs become the
+    /// request baseline and explicit flags override them.
+    pub resume: Option<PathBuf>,
+    /// `--sweep key=v1,v2,…` axes, crossed into a batch of runs.
+    pub sweep: Vec<(String, Vec<String>)>,
+    /// `--jobs`: concurrent sweep jobs.
+    pub jobs: Option<usize>,
 }
 
 /// What the command line asked for.
@@ -120,59 +140,21 @@ pub enum Command {
     },
 }
 
-fn parse_flag_value<T: std::str::FromStr>(
-    flag: &str,
-    value: &str,
-    expected: &str,
-) -> Result<T, CliError> {
-    value.parse().map_err(|_| {
+/// Applies one solver/run key by delegating to [`RunRequest::set`] — the
+/// single parser shared with config-file entries, `aderdg-serve` commands
+/// and checkpoint replay (`what` names the source for error messages).
+fn apply_key(req: &mut RunRequest, key: &str, value: &str, what: &str) -> Result<bool, CliError> {
+    req.set(key, value).map_err(|e| {
         CliError::new(format!(
-            "invalid value `{value}` for {flag} (expected {expected})"
+            "invalid value `{value}` for {what} (expected {})",
+            e.expected
         ))
     })
 }
 
-/// Applies one solver/run key (shared between CLI flags and config-file
-/// entries; `what` names the source for error messages).
-fn apply_key(req: &mut RunRequest, key: &str, value: &str, what: &str) -> Result<bool, CliError> {
-    let invalid = |expected: &str| {
-        CliError::new(format!(
-            "invalid value `{value}` for {what} (expected {expected})"
-        ))
-    };
-    match key {
-        "order" => req.order = Some(parse_flag_value(what, value, "an integer 2..=15")?),
-        "kernel" => req.kernel = Some(value.to_string()),
-        "cfl" => req.cfl = Some(parse_flag_value(what, value, "a number in (0, 0.45]")?),
-        "width" => {
-            req.width = Some(parse_width(value).ok_or_else(|| invalid("sse|avx2|avx512|host"))?)
-        }
-        "rule" => {
-            req.rule =
-                Some(parse_rule(value).ok_or_else(|| invalid("gauss_legendre|gauss_lobatto"))?)
-        }
-        "block_size" => {
-            req.block_size =
-                Some(parse_auto_size(value).ok_or_else(|| invalid("auto or an integer >= 1"))?)
-        }
-        "tuning" => {
-            req.tuning =
-                Some(TuningMode::parse(value).ok_or_else(|| invalid("static|model|probe"))?)
-        }
-        "pipeline" => {
-            req.pipeline =
-                Some(PipelineMode::parse(value).ok_or_else(|| invalid("barrier|sharded"))?)
-        }
-        "shard_size" => {
-            req.shard_size =
-                Some(parse_auto_size(value).ok_or_else(|| invalid("auto or an integer >= 1"))?)
-        }
-        "cells" => req.cells = Some(parse_flag_value(what, value, "an integer >= 1")?),
-        "t_end" => req.t_end = Some(parse_flag_value(what, value, "a positive number")?),
-        _ => return Ok(false),
-    }
-    Ok(true)
-}
+/// Keys [`RunRequest::set`] accepts that belong to the `[run]` table /
+/// run-level flags, not `[solver]`.
+const RUN_LEVEL_KEYS: &[&str] = &["cells", "t_end", "smoke", "snapshot", "save_checkpoint"];
 
 /// Builds a [`RunArgs`] from a parsed config document. Recognized tables:
 /// `[run]` (scenario, cells, t_end, smoke, out, snapshot, receivers) and
@@ -186,23 +168,10 @@ pub fn args_from_config(doc: &toml::Doc) -> Result<RunArgs, CliError> {
                     let what = format!("[run] {} (line {})", e.key, e.line);
                     match e.key.as_str() {
                         "scenario" => args.scenario = e.value.clone(),
-                        "smoke" => {
-                            args.request.smoke = match e.value.as_str() {
-                                "true" => true,
-                                "false" => false,
-                                _ => {
-                                    return Err(CliError::new(format!(
-                                        "invalid value `{}` for {what} (expected true|false)",
-                                        e.value
-                                    )))
-                                }
-                            }
-                        }
                         "out" => args.out = Some(PathBuf::from(&e.value)),
-                        "snapshot" => args.request.snapshot = Some(PathBuf::from(&e.value)),
                         "receivers" => args.receivers = Some(PathBuf::from(&e.value)),
-                        "cells" | "t_end" => {
-                            apply_key(&mut args.request, &e.key, &e.value, &what)?;
+                        key if RUN_LEVEL_KEYS.contains(&key) => {
+                            apply_key(&mut args.request, key, &e.value, &what)?;
                         }
                         other => {
                             return Err(CliError::new(format!(
@@ -216,9 +185,8 @@ pub fn args_from_config(doc: &toml::Doc) -> Result<RunArgs, CliError> {
             "solver" => {
                 for e in &table.entries {
                     let what = format!("[solver] {} (line {})", e.key, e.line);
-                    if !apply_key(&mut args.request, &e.key, &e.value, &what)?
-                        || e.key == "cells"
-                        || e.key == "t_end"
+                    if RUN_LEVEL_KEYS.contains(&e.key.as_str())
+                        || !apply_key(&mut args.request, &e.key, &e.value, &what)?
                     {
                         return Err(CliError::new(format!(
                             "unknown [solver] key `{}` (line {})",
@@ -258,6 +226,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut docs: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut receivers: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut sweep: Vec<(String, Vec<String>)> = Vec::new();
+    let mut jobs: Option<usize> = None;
     let mut req = RunRequest::default();
     let mut mode: Option<&'static str> = None;
 
@@ -280,6 +251,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--out" => out = Some(PathBuf::from(value_of("--out")?)),
             "--snapshot" => req.snapshot = Some(PathBuf::from(value_of("--snapshot")?)),
             "--receivers" => receivers = Some(PathBuf::from(value_of("--receivers")?)),
+            "--resume" => resume = Some(PathBuf::from(value_of("--resume")?)),
+            "--sweep" => sweep.push(parse_sweep_axis(&value_of("--sweep")?)?),
+            "--jobs" => {
+                let value = value_of("--jobs")?;
+                jobs = Some(match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        return Err(CliError::new(format!(
+                            "invalid value `{value}` for --jobs (expected a positive integer)"
+                        )))
+                    }
+                });
+            }
             flag if flag.starts_with("--") => {
                 let key = flag.trim_start_matches("--").replace('-', "_");
                 let value = value_of(flag)?;
@@ -322,10 +306,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     if let Some(name) = scenario {
         run.scenario = name;
     }
-    if run.scenario.is_empty() {
+    if run.scenario.is_empty() && resume.is_none() {
         return Err(CliError::new(
-            "missing scenario: pass `--scenario <name>` or a config file with `scenario = …` \
-             under [run] (`aderdg-run --list` shows what is registered)",
+            "missing scenario: pass `--scenario <name>`, `--resume <checkpoint>` or a config \
+             file with `scenario = …` under [run] (`aderdg-run --list` shows what is registered)",
         ));
     }
     // Flag overrides on top of the config file.
@@ -336,7 +320,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     if receivers.is_some() {
         run.receivers = receivers;
     }
+    run.resume = resume;
+    run.sweep = sweep;
+    run.jobs = jobs;
+    if run.jobs.is_some() && run.sweep.is_empty() {
+        return Err(CliError::new("--jobs only applies to --sweep batch runs"));
+    }
+    if !run.sweep.is_empty() {
+        let conflict = [
+            ("--out", run.out.is_some()),
+            ("--receivers", run.receivers.is_some()),
+            ("--snapshot", run.request.snapshot.is_some()),
+            ("--save-checkpoint", run.request.save_checkpoint.is_some()),
+            ("--resume", run.resume.is_some()),
+        ]
+        .iter()
+        .find_map(|(flag, set)| set.then_some(*flag));
+        if let Some(flag) = conflict {
+            return Err(CliError::new(format!(
+                "{flag} cannot be combined with --sweep (per-run outputs are ambiguous \
+                 across a batch)"
+            )));
+        }
+    }
     Ok(Command::Run(Box::new(run)))
+}
+
+/// Parses one `--sweep key=v1,v2,…` axis.
+fn parse_sweep_axis(spec: &str) -> Result<(String, Vec<String>), CliError> {
+    let bad = || {
+        CliError::new(format!(
+            "invalid --sweep `{spec}` (expected key=value1,value2,…)"
+        ))
+    };
+    let (key, values) = spec.split_once('=').ok_or_else(bad)?;
+    let key = key.trim().replace('-', "_");
+    let values: Vec<String> = values
+        .split(',')
+        .map(str::trim)
+        .filter(|v| !v.is_empty())
+        .map(String::from)
+        .collect();
+    if key.is_empty() || values.is_empty() {
+        return Err(bad());
+    }
+    Ok((key, values))
 }
 
 /// Overlays `over` (flag values) onto `base` (config-file values).
@@ -347,8 +375,19 @@ fn merge_requests(base: &mut RunRequest, over: RunRequest) {
         };
     }
     take!(
-        order, kernel, cfl, width, rule, block_size, tuning, pipeline, shard_size, cells, t_end,
-        snapshot
+        order,
+        kernel,
+        cfl,
+        width,
+        rule,
+        block_size,
+        tuning,
+        pipeline,
+        shard_size,
+        cells,
+        t_end,
+        snapshot,
+        save_checkpoint
     );
     base.smoke |= over.smoke;
 }
@@ -377,118 +416,36 @@ pub fn render_list() -> String {
     out
 }
 
-/// Renders the human-readable run report.
-pub fn render_summary(s: &RunSummary) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "scenario {} [{}]: order {}, {}x{}x{} cells ({}), kernel {}, pipeline {:?}\n",
-        s.scenario,
-        s.system,
-        s.order,
-        s.cells[0],
-        s.cells[1],
-        s.cells[2],
-        s.num_cells,
-        s.kernel,
-        s.pipeline,
-    ));
-    out.push_str(&format!("tune: {}\n", s.tune));
-    out.push_str(&format!(
-        "{} steps to t = {:.6} in {:.3} s ({:.0} cell updates/s)\n",
-        s.steps, s.t_end, s.wall_seconds, s.cell_updates_per_second
-    ));
-    out.push_str(&format!(
-        "{:>10} {:>8} {:>13} {:>13}\n",
-        "t", "steps", "L2 norm", "L2 error"
-    ));
-    for p in &s.series {
-        let err = p
-            .l2_error
-            .map(|e| format!("{e:>13.4e}"))
-            .unwrap_or_else(|| format!("{:>13}", "-"));
-        out.push_str(&format!(
-            "{:>10.4} {:>8} {:>13.6e} {err}\n",
-            p.t, p.steps, p.l2_norm
-        ));
-    }
-    let drift: f64 = s
-        .integrals_initial
-        .iter()
-        .zip(&s.integrals_final)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
-    out.push_str(&format!(
-        "conserved-quantity drift: max |Δ∫q| = {drift:.3e} over {} quantities\n",
-        s.integrals_final.len()
-    ));
-    if let Some(err) = s.l2_error {
-        out.push_str(&format!("final L2 error vs exact solution: {err:.6e}\n"));
-    }
-    if !s.receivers.is_empty() {
-        out.push_str(&format!(
-            "{} receiver(s) recorded {} samples each\n",
-            s.receivers.len(),
-            s.receivers.first().map_or(0, |r| r.records.len())
-        ));
-    }
-    out
-}
-
-/// Writes the checkpoint time series as CSV (`t,steps,l2_norm,l2_error`).
-pub fn write_series_csv(s: &RunSummary, out: &mut dyn Write) -> std::io::Result<()> {
-    writeln!(out, "t,steps,l2_norm,l2_error")?;
-    for p in &s.series {
-        match p.l2_error {
-            Some(e) => writeln!(out, "{},{},{},{e}", p.t, p.steps, p.l2_norm)?,
-            None => writeln!(out, "{},{},{},", p.t, p.steps, p.l2_norm)?,
-        }
-    }
-    Ok(())
-}
-
-/// Writes every receiver's seismogram as CSV
-/// (`receiver,x,y,z,t,q0,q1,…`).
-pub fn write_receivers_csv(s: &RunSummary, out: &mut dyn Write) -> std::io::Result<()> {
-    let vars = s
-        .receivers
-        .iter()
-        .flat_map(|r| r.records.first())
-        .map(|(_, v)| v.len())
-        .next()
-        .unwrap_or(0);
-    write!(out, "receiver,x,y,z,t")?;
-    for v in 0..vars {
-        write!(out, ",q{v}")?;
-    }
-    writeln!(out)?;
-    for (i, r) in s.receivers.iter().enumerate() {
-        for (t, v) in &r.records {
-            write!(
-                out,
-                "{i},{},{},{},{t}",
-                r.position[0], r.position[1], r.position[2]
-            )?;
-            for x in v {
-                write!(out, ",{x}")?;
-            }
-            writeln!(out)?;
-        }
-    }
-    Ok(())
-}
-
-/// Runs one scenario invocation and writes its outputs.
+/// Runs one scenario invocation (or checkpoint resume) and writes its
+/// outputs.
 pub fn execute_run(args: &RunArgs) -> Result<RunSummary, CliError> {
-    let scenario = ScenarioRegistry::global()
-        .resolve(&args.scenario)
-        .ok_or_else(|| {
-            CliError::new(format!(
-                "unknown scenario `{}` (registered: {})",
-                args.scenario,
-                ScenarioRegistry::global().names().join(", ")
-            ))
-        })?;
-    let summary = scenario.run(&args.request).map_err(CliError::new)?;
+    let (name, request) = match &args.resume {
+        Some(path) => {
+            let ck = Checkpoint::load(path).map_err(CliError::new)?;
+            if !args.scenario.is_empty() && args.scenario != ck.scenario {
+                return Err(CliError::new(format!(
+                    "checkpoint {} is for scenario `{}`, not `{}`",
+                    path.display(),
+                    ck.scenario,
+                    args.scenario
+                )));
+            }
+            // Saved knobs are the baseline; explicit flags override them.
+            let mut request = ck.to_request().map_err(CliError::new)?;
+            merge_requests(&mut request, args.request.clone());
+            let name = ck.scenario.clone();
+            request.resume = Some(Arc::new(ck));
+            (name, request)
+        }
+        None => (args.scenario.clone(), args.request.clone()),
+    };
+    let scenario = ScenarioRegistry::global().resolve(&name).ok_or_else(|| {
+        CliError::new(format!(
+            "unknown scenario `{name}` (registered: {})",
+            ScenarioRegistry::global().names().join(", ")
+        ))
+    })?;
+    let summary = scenario.run(&request).map_err(CliError::new)?;
     if let Some(path) = &args.out {
         write_file(path, |f| write_series_csv(&summary, f))?;
     }
@@ -498,13 +455,106 @@ pub fn execute_run(args: &RunArgs) -> Result<RunSummary, CliError> {
     Ok(summary)
 }
 
+/// Writes a CLI output file atomically (`<path>.tmp` + rename), so an
+/// interrupted run never leaves a half-written CSV behind.
 fn write_file(
     path: &Path,
     f: impl FnOnce(&mut dyn Write) -> std::io::Result<()>,
 ) -> Result<(), CliError> {
-    let mut file = std::fs::File::create(path)
-        .map_err(|e| CliError::new(format!("cannot create {}: {e}", path.display())))?;
-    f(&mut file).map_err(|e| CliError::new(format!("cannot write {}: {e}", path.display())))
+    aderdg_core::output::write_atomic(path, f)
+        .map_err(|e| CliError::new(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Expands the `--sweep` axes into the cross-product of concrete
+/// requests, each labelled `key=value key=value …`. `kernel=*` expands
+/// to every registered kernel.
+pub fn expand_sweep(
+    base: &RunRequest,
+    sweep: &[(String, Vec<String>)],
+) -> Result<Vec<(String, RunRequest)>, CliError> {
+    let mut combos = vec![(String::new(), base.clone())];
+    for (key, values) in sweep {
+        let values: Vec<String> = if key == "kernel" && values == &["*".to_string()] {
+            aderdg_core::KernelRegistry::global()
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        } else {
+            values.clone()
+        };
+        let mut next = Vec::with_capacity(combos.len() * values.len());
+        for (label, request) in &combos {
+            for value in &values {
+                let mut request = request.clone();
+                if !apply_key(&mut request, key, value, &format!("--sweep {key}"))? {
+                    return Err(CliError::new(format!(
+                        "unknown --sweep key `{key}` (see `aderdg-run --help` for solver keys)"
+                    )));
+                }
+                let mut label = label.clone();
+                if !label.is_empty() {
+                    label.push(' ');
+                }
+                label.push_str(&format!("{key}={value}"));
+                next.push((label, request));
+            }
+        }
+        combos = next;
+    }
+    Ok(combos)
+}
+
+/// The `--sweep` batch mode: every combination goes through a
+/// [`JobQueue`] (all engines share the one process-wide worker pool) and
+/// the outcome table is printed as jobs finish. Any failed combination
+/// fails the whole sweep.
+pub fn run_sweep(args: &RunArgs, log: &mut dyn Write) -> Result<(), CliError> {
+    let combos = expand_sweep(&args.request, &args.sweep)?;
+    let runners = args.jobs.unwrap_or_else(|| combos.len().min(4));
+    let queue = JobQueue::new(runners);
+    let mut jobs = Vec::with_capacity(combos.len());
+    for (label, request) in combos {
+        let job = queue
+            .submit(&args.scenario, request)
+            .map_err(CliError::new)?;
+        jobs.push((label, job));
+    }
+    let _ = writeln!(
+        log,
+        "sweep: {} combination(s) of `{}` over {runners} concurrent job(s)",
+        jobs.len(),
+        args.scenario
+    );
+    let mut failed = 0;
+    for (label, job) in &jobs {
+        match job.wait() {
+            JobStatus::Done => {
+                let s = job.summary().expect("done job has a summary");
+                let _ = writeln!(
+                    log,
+                    "  ok   {label:<44} {} steps, t = {:.6}, L2 norm {:.6e}",
+                    s.steps, s.t_end, s.l2_norm
+                );
+            }
+            status => {
+                failed += 1;
+                let _ = writeln!(
+                    log,
+                    "  FAIL {label:<44} {}: {}",
+                    status.as_str(),
+                    job.error().unwrap_or_else(|| "no details".into())
+                );
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(CliError::new(format!(
+            "{failed} of {} sweep combination(s) failed",
+            jobs.len()
+        )));
+    }
+    Ok(())
 }
 
 /// Checks that every registered scenario has a gallery section (a `##`
@@ -591,6 +641,7 @@ pub fn run_cli(args: &[String], stdout: &mut dyn Write) -> Result<(), CliError> 
             }
             Ok(())
         }
+        Command::Run(run) if !run.sweep.is_empty() => run_sweep(&run, stdout),
         Command::Run(run) => {
             let summary = execute_run(&run)?;
             let _ = write!(stdout, "{}", render_summary(&summary));

@@ -4,8 +4,8 @@
 //! gallery.
 
 use aderdg_cli::{
-    args_from_config, execute_run, missing_gallery_sections, parse_args, render_list,
-    render_summary, toml, write_receivers_csv, write_series_csv, Command, RunArgs,
+    args_from_config, execute_run, expand_sweep, missing_gallery_sections, parse_args, render_list,
+    render_summary, run_sweep, toml, write_receivers_csv, write_series_csv, Command, RunArgs,
 };
 use aderdg_core::engine::PipelineMode;
 use aderdg_core::scenario::{RunRequest, ScenarioRegistry};
@@ -253,6 +253,213 @@ fn list_renders_every_scenario() {
     for name in ScenarioRegistry::global().names() {
         assert!(text.contains(name), "`{name}` missing from --list");
     }
+}
+
+#[test]
+fn checkpoint_flags_parse() {
+    let cmd = parse_args(&args(&[
+        "--scenario",
+        "acoustic_wave",
+        "--smoke",
+        "--save-checkpoint",
+        "state.ckpt",
+    ]))
+    .unwrap();
+    let Command::Run(run) = cmd else {
+        panic!("expected a run command");
+    };
+    assert_eq!(
+        run.request.save_checkpoint.as_deref(),
+        Some(std::path::Path::new("state.ckpt"))
+    );
+
+    // --resume needs no --scenario: the checkpoint names it.
+    let cmd = parse_args(&args(&["--resume", "state.ckpt", "--t-end", "2.0"])).unwrap();
+    let Command::Run(run) = cmd else {
+        panic!("expected a run command");
+    };
+    assert!(run.scenario.is_empty());
+    assert_eq!(
+        run.resume.as_deref(),
+        Some(std::path::Path::new("state.ckpt"))
+    );
+    assert_eq!(run.request.t_end, Some(2.0));
+}
+
+#[test]
+fn resume_round_trips_through_real_checkpoint_files() {
+    let dir = std::env::temp_dir();
+    let ck = dir.join(format!("aderdg-cli-resume-{}.ckpt", std::process::id()));
+
+    // Pause a smoke run at step 1 into a checkpoint.
+    let mut request = RunRequest::smoke();
+    request.set("tuning", "static").unwrap();
+    request.save_checkpoint = Some(ck.clone());
+    let control = std::sync::Arc::new(aderdg_core::scenario::RunControl::new());
+    control.pause_at_step(1);
+    request.control = Some(control);
+    let paused = execute_run(&RunArgs {
+        scenario: "acoustic_wave".into(),
+        request,
+        ..RunArgs::default()
+    })
+    .unwrap();
+    assert!(paused.paused);
+
+    // Resume purely from the file — no scenario, knobs from the
+    // checkpoint — and finish the run.
+    let resumed = execute_run(&RunArgs {
+        resume: Some(ck.clone()),
+        ..RunArgs::default()
+    })
+    .unwrap();
+    assert!(!resumed.paused);
+    assert_eq!(resumed.scenario, "acoustic_wave");
+
+    // A mismatched --scenario is rejected before any engine is built.
+    let e = execute_run(&RunArgs {
+        scenario: "loh1".into(),
+        resume: Some(ck.clone()),
+        ..RunArgs::default()
+    })
+    .unwrap_err();
+    assert!(e.message.contains("is for scenario `acoustic_wave`"), "{e}");
+    let _ = std::fs::remove_file(&ck);
+
+    // A missing checkpoint file is an actionable error.
+    let e = execute_run(&RunArgs {
+        resume: Some(dir.join("aderdg-cli-no-such.ckpt")),
+        ..RunArgs::default()
+    })
+    .unwrap_err();
+    assert!(e.message.contains("cannot read"), "{e}");
+}
+
+#[test]
+fn sweep_parses_expands_and_rejects_conflicts() {
+    let cmd = parse_args(&args(&[
+        "--scenario",
+        "acoustic_wave",
+        "--smoke",
+        "--sweep",
+        "kernel=generic,splitck",
+        "--sweep",
+        "order=2,3",
+        "--jobs",
+        "2",
+    ]))
+    .unwrap();
+    let Command::Run(run) = cmd else {
+        panic!("expected a run command");
+    };
+    assert_eq!(run.jobs, Some(2));
+    let combos = expand_sweep(&run.request, &run.sweep).unwrap();
+    assert_eq!(combos.len(), 4);
+    assert_eq!(combos[0].0, "kernel=generic order=2");
+    assert_eq!(combos[3].0, "kernel=splitck order=3");
+    assert_eq!(combos[3].1.kernel.as_deref(), Some("splitck"));
+    assert_eq!(combos[3].1.order, Some(3));
+
+    // kernel=* expands to the whole registry.
+    let combos =
+        expand_sweep(&RunRequest::smoke(), &[("kernel".into(), vec!["*".into()])]).unwrap();
+    assert_eq!(
+        combos.len(),
+        aderdg_core::KernelRegistry::global().names().len()
+    );
+
+    for (cli, needle) in [
+        (
+            vec!["--scenario", "x", "--sweep", "kernels"],
+            "expected key=value1,value2",
+        ),
+        (
+            vec!["--scenario", "x", "--jobs", "2"],
+            "--jobs only applies to --sweep",
+        ),
+        (
+            vec!["--scenario", "x", "--sweep", "order=2", "--jobs", "0"],
+            "invalid value `0` for --jobs",
+        ),
+        (
+            vec!["--scenario", "x", "--sweep", "order=2", "--out", "a.csv"],
+            "--out cannot be combined with --sweep",
+        ),
+        (
+            vec![
+                "--scenario",
+                "x",
+                "--sweep",
+                "order=2",
+                "--resume",
+                "a.ckpt",
+            ],
+            "--resume cannot be combined with --sweep",
+        ),
+    ] {
+        let e = parse_args(&args(&cli)).unwrap_err();
+        assert!(e.message.contains(needle), "{cli:?}: {e}");
+    }
+
+    let e = expand_sweep(&RunRequest::smoke(), &[("warp".into(), vec!["9".into()])]).unwrap_err();
+    assert!(e.message.contains("unknown --sweep key `warp`"), "{e}");
+}
+
+#[test]
+fn sweep_runs_every_combination_and_reports_failures() {
+    let run = RunArgs {
+        scenario: "acoustic_wave".into(),
+        request: RunRequest::smoke(),
+        sweep: vec![
+            ("kernel".into(), vec!["generic".into(), "splitck".into()]),
+            ("pipeline".into(), vec!["barrier".into(), "sharded".into()]),
+        ],
+        jobs: Some(4),
+        ..RunArgs::default()
+    };
+    let mut log = Vec::new();
+    run_sweep(&run, &mut log).unwrap();
+    let log = String::from_utf8(log).unwrap();
+    assert!(log.contains("4 combination(s)"), "{log}");
+    assert_eq!(log.matches("  ok   ").count(), 4, "{log}");
+
+    // A bad kernel value fails its combination — and the sweep.
+    let run = RunArgs {
+        scenario: "acoustic_wave".into(),
+        request: RunRequest::smoke(),
+        sweep: vec![("kernel".into(), vec!["generic".into(), "turbo".into()])],
+        ..RunArgs::default()
+    };
+    let mut log = Vec::new();
+    let e = run_sweep(&run, &mut log).unwrap_err();
+    assert!(e.message.contains("1 of 2"), "{e}");
+    let log = String::from_utf8(log).unwrap();
+    assert!(log.contains("  FAIL kernel=turbo"), "{log}");
+    assert!(log.contains("unknown kernel"), "{log}");
+}
+
+#[test]
+fn solver_table_rejects_run_level_keys() {
+    for key in ["cells", "t_end", "smoke", "snapshot", "save_checkpoint"] {
+        let text = format!("[solver]\n{key} = 4\n");
+        let doc = toml::parse(&text).unwrap();
+        let e = args_from_config(&doc).unwrap_err();
+        assert!(
+            e.message.contains(&format!("unknown [solver] key `{key}`")),
+            "{key}: {e}"
+        );
+    }
+    // …but [run] accepts them.
+    let doc = toml::parse(
+        "[run]\nscenario = \"acoustic_wave\"\nsmoke = true\nsave_checkpoint = out.ckpt\n",
+    )
+    .unwrap();
+    let run = args_from_config(&doc).unwrap();
+    assert!(run.request.smoke);
+    assert_eq!(
+        run.request.save_checkpoint.as_deref(),
+        Some(std::path::Path::new("out.ckpt"))
+    );
 }
 
 #[test]

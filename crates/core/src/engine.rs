@@ -69,7 +69,33 @@ impl PipelineMode {
             Err(_) => Self::Sharded,
         }
     }
+
+    /// The specification-file spelling (inverse of [`PipelineMode::parse`]).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Barrier => "barrier",
+            Self::Sharded => "sharded",
+        }
+    }
 }
+
+/// A degenerate CFL step: [`Engine::max_dt`] came back zero, negative or
+/// non-finite (an infinite wavespeed, a NaN in the state). Returned by
+/// [`Engine::advance_until`]; [`Engine::run_until`] panics with the same
+/// message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegenerateDt {
+    /// The offending time step.
+    pub dt: f64,
+}
+
+impl std::fmt::Display for DegenerateDt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "degenerate time step {}", self.dt)
+    }
+}
+
+impl std::error::Error for DegenerateDt {}
 
 /// Engine-level configuration.
 ///
@@ -900,10 +926,40 @@ impl<P: LinearPde> Engine<P> {
     /// a clipped step too small to advance `time` at all clamps instead
     /// of asserting.
     pub fn run_until(&mut self, t_end: f64) {
+        self.advance_until(t_end, |_| true)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Checked [`Engine::run_until`]: advances with CFL-limited steps
+    /// toward `t_end`, consulting `keep_going` before every dt
+    /// computation.
+    ///
+    /// Returns `Ok(true)` when the target is reached (or the remaining
+    /// gap fell below f64 resolution — same clamp as `run_until`),
+    /// `Ok(false)` when `keep_going` stopped the run early (the engine
+    /// is left at a step boundary, ready to be checkpointed), and
+    /// [`DegenerateDt`] when `max_dt` comes back zero, negative or
+    /// non-finite — a long-lived service fails the one job instead of
+    /// panicking the process.
+    ///
+    /// The control check never perturbs the step sequence: `dt` is
+    /// always `max_dt().min(t_end - time)` against the *real* target, so
+    /// a paused-and-resumed run replays the exact dt sequence of an
+    /// uninterrupted one (see `crates/core/tests/checkpoint.rs`).
+    pub fn advance_until(
+        &mut self,
+        t_end: f64,
+        mut keep_going: impl FnMut(&Self) -> bool,
+    ) -> Result<bool, DegenerateDt> {
         let tol = t_end.abs() * 1e-12;
         while self.time < t_end - tol {
+            if !keep_going(self) {
+                return Ok(false);
+            }
             let dt = self.max_dt().min(t_end - self.time);
-            assert!(dt.is_finite() && dt > 0.0, "degenerate time step {dt}");
+            if !(dt.is_finite() && dt > 0.0) {
+                return Err(DegenerateDt { dt });
+            }
             if self.time + dt == self.time {
                 // dt is below f64 resolution at this magnitude; one more
                 // step could never advance the clock.
@@ -914,6 +970,99 @@ impl<P: LinearPde> Engine<P> {
         if (self.time - t_end).abs() <= tol {
             self.time = t_end;
         }
+        Ok(true)
+    }
+
+    /// Serializes this engine's full mutable state — DOFs, clock, step
+    /// count and receiver records — into a [`crate::checkpoint::EngineState`]
+    /// (the configuration travels separately as resolved knobs; see
+    /// [`crate::checkpoint`]).
+    pub fn save_state(&self) -> crate::checkpoint::EngineState {
+        let state_len = self.plan.aos.len();
+        let mut state = Vec::with_capacity(self.state.len() * state_len);
+        for q in &self.state {
+            state.extend_from_slice(q);
+        }
+        crate::checkpoint::EngineState {
+            dims: self.mesh.dims,
+            order: self.config.order,
+            state_len,
+            time: self.time,
+            steps: self.steps,
+            state,
+            receivers: self
+                .receivers
+                .iter()
+                .map(|r| crate::checkpoint::ReceiverState {
+                    position: r.position,
+                    records: r.records.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores a saved [`crate::checkpoint::EngineState`] into this engine,
+    /// which must have been built with the same mesh dimensions, order
+    /// and padded state layout (resolved-knob replay guarantees that;
+    /// see [`crate::checkpoint`]) and have the same receivers
+    /// registered. DOFs are copied bit-exactly, padding included, so
+    /// subsequent steps are bit-identical to the uninterrupted run.
+    pub fn restore_state(
+        &mut self,
+        s: &crate::checkpoint::EngineState,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        if s.dims != self.mesh.dims {
+            return Err(CheckpointError::new(format!(
+                "mesh mismatch: checkpoint has {:?} cells, engine has {:?}",
+                s.dims, self.mesh.dims
+            )));
+        }
+        if s.order != self.config.order {
+            return Err(CheckpointError::new(format!(
+                "order mismatch: checkpoint has {}, engine has {}",
+                s.order, self.config.order
+            )));
+        }
+        if s.state_len != self.plan.aos.len() {
+            return Err(CheckpointError::new(format!(
+                "state layout mismatch: checkpoint has {} doubles/cell, engine has {} \
+                 (different SIMD padding?)",
+                s.state_len,
+                self.plan.aos.len()
+            )));
+        }
+        if s.state.len() != self.state.len() * s.state_len {
+            return Err(CheckpointError::new(format!(
+                "state size mismatch: checkpoint has {} doubles, engine needs {}",
+                s.state.len(),
+                self.state.len() * s.state_len
+            )));
+        }
+        if s.receivers.len() != self.receivers.len() {
+            return Err(CheckpointError::new(format!(
+                "receiver count mismatch: checkpoint has {}, engine has {}",
+                s.receivers.len(),
+                self.receivers.len()
+            )));
+        }
+        for (r, rs) in self.receivers.iter().zip(&s.receivers) {
+            if r.position != rs.position {
+                return Err(CheckpointError::new(format!(
+                    "receiver position mismatch: checkpoint has {:?}, engine has {:?}",
+                    rs.position, r.position
+                )));
+            }
+        }
+        for (q, chunk) in self.state.iter_mut().zip(s.state.chunks_exact(s.state_len)) {
+            q.copy_from_slice(chunk);
+        }
+        for (r, rs) in self.receivers.iter_mut().zip(&s.receivers) {
+            r.records = rs.records.clone();
+        }
+        self.time = s.time;
+        self.steps = s.steps;
+        Ok(())
     }
 
     /// Nodal L2 error of the evolved quantities against an exact solution.

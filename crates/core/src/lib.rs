@@ -11,9 +11,11 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod checkpoint;
 pub mod corrector;
 pub mod engine;
 pub mod faceproj;
+pub mod jobs;
 pub mod kernels;
 pub mod mix;
 pub mod output;
@@ -21,6 +23,7 @@ pub mod par;
 pub mod plan;
 mod pool;
 pub mod registry;
+pub mod report;
 pub mod riemann;
 pub mod scenario;
 pub mod scenarios;
@@ -29,13 +32,17 @@ pub mod traces;
 pub mod tune;
 
 pub use block::{BlockInputs, CellBlock};
-pub use engine::{auto_block_size, auto_shard_size, Engine, EngineConfig, PipelineMode, Receiver};
+pub use checkpoint::{Checkpoint, CheckpointError, EngineState};
+pub use engine::{
+    auto_block_size, auto_shard_size, DegenerateDt, Engine, EngineConfig, PipelineMode, Receiver,
+};
+pub use jobs::{Job, JobQueue, JobStatus};
 pub use kernels::{StpInputs, StpKernel, StpOutputs, StpScratch};
 pub use plan::{CellSource, KernelVariant, StpConfig, StpPlan};
 pub use registry::KernelRegistry;
 pub use riemann::{boundary_face, rusanov_face, BoundaryScratch};
 pub use scenario::{
-    RunRequest, RunSummary, Scenario, ScenarioError, ScenarioInfo, ScenarioRegistry,
+    RunControl, RunRequest, RunSummary, Scenario, ScenarioError, ScenarioInfo, ScenarioRegistry,
 };
 pub use spec::{SolverSpec, SpecError};
 pub use tune::{BackendCandidate, BlockCandidate, TuneReport, TuningMode};

@@ -9,6 +9,34 @@
 use crate::engine::Engine;
 use aderdg_pde::LinearPde;
 use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes a file atomically: the content goes to a `<name>.tmp` sibling
+/// first and is renamed over `path` only after a successful flush — a
+/// failure mid-write can never leave a truncated file where a previous
+/// good one (a checkpoint, say) used to be. The sibling lives in the
+/// same directory so the rename stays within one filesystem.
+pub fn write_atomic(
+    path: &Path,
+    f: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut file = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        f(&mut file)?;
+        file.flush()?;
+        file.into_inner().map_err(|e| e.into_error())?.sync_all()
+    })();
+    match result {
+        Ok(()) => std::fs::rename(&tmp, path),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
 
 /// Writes the full nodal solution as a legacy-VTK structured grid:
 /// one point per quadrature node, `var_names.len()` scalar fields (the
@@ -166,6 +194,31 @@ mod tests {
         // A data row parses to numbers.
         let fields: Vec<f64> = lines[1].split(',').map(|t| t.parse().unwrap()).collect();
         assert_eq!(fields.len(), 7);
+    }
+
+    #[test]
+    fn write_atomic_failure_preserves_the_old_file() {
+        let path = std::env::temp_dir().join(format!("aderdg_atomic_{}.csv", std::process::id()));
+        let tmp = path.with_file_name(format!(
+            "{}.tmp",
+            path.file_name().unwrap().to_string_lossy()
+        ));
+        std::fs::write(&path, "old good content").unwrap();
+
+        // A failing writer leaves the original untouched and no sibling.
+        let err = write_atomic(&path, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("disk full"))
+        });
+        assert!(err.is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old good content");
+        assert!(!tmp.exists(), "failed write left {} behind", tmp.display());
+
+        // A successful writer replaces the content and the sibling is gone.
+        write_atomic(&path, |w| w.write_all(b"new content")).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new content");
+        assert!(!tmp.exists());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

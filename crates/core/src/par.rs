@@ -98,18 +98,32 @@ pub enum PoolMode {
 /// The active executor: `ADERDG_POOL` (`persistent` | `scoped`) if set,
 /// else [`PoolMode::Persistent`]. Resolved once; [`set_pool_mode`]
 /// overrides it at runtime.
+///
+/// # Panics
+/// If `ADERDG_POOL` is set to an unknown value — configuration typos
+/// fail loudly, not silently fall back (same policy as
+/// `PipelineMode::default_from_env`).
 pub fn pool_mode() -> PoolMode {
     match POOL_MODE.load(Ordering::Relaxed) {
         1 => PoolMode::Persistent,
         2 => PoolMode::Scoped,
         _ => {
-            let mode = match std::env::var("ADERDG_POOL").as_deref() {
-                Ok("scoped") => PoolMode::Scoped,
-                _ => PoolMode::Persistent,
-            };
+            let var = std::env::var("ADERDG_POOL");
+            let mode = resolve_pool_mode(var.as_deref().ok());
             set_pool_mode(mode);
             mode
         }
+    }
+}
+
+/// Maps an `ADERDG_POOL` value to a [`PoolMode`]; panics on anything but
+/// `persistent`, `scoped` or unset. Pure so the rejection is unit
+/// testable despite [`pool_mode`]'s once-only caching.
+fn resolve_pool_mode(value: Option<&str>) -> PoolMode {
+    match value {
+        None | Some("persistent") => PoolMode::Persistent,
+        Some("scoped") => PoolMode::Scoped,
+        Some(other) => panic!("unknown ADERDG_POOL `{other}` (persistent|scoped)"),
     }
 }
 
@@ -127,27 +141,56 @@ pub fn set_pool_mode(mode: PoolMode) {
 
 /// Whether workers of the persistent pool are pinned to cores
 /// (`ADERDG_PIN=1`; read once at first pool construction).
+///
+/// # Panics
+/// If `ADERDG_PIN` is set to anything but `1`, `0` or the empty string —
+/// a typo like `ADERDG_PIN=yes` silently running unpinned would defeat
+/// the knob's purpose.
 fn pin_workers() -> bool {
-    std::env::var("ADERDG_PIN").as_deref() == Ok("1")
+    let var = std::env::var("ADERDG_PIN");
+    resolve_pin(var.as_deref().ok())
+}
+
+/// Maps an `ADERDG_PIN` value to the pinning flag; panics on anything
+/// but `1`, `0`, empty or unset.
+fn resolve_pin(value: Option<&str>) -> bool {
+    match value {
+        None | Some("") | Some("0") => false,
+        Some("1") => true,
+        Some(other) => panic!("invalid ADERDG_PIN `{other}` (1 to pin workers, 0 or unset not to)"),
+    }
 }
 
 /// Number of worker threads the cell loops use.
+///
+/// # Panics
+/// If `ADERDG_THREADS` is set but is not a positive integer — an
+/// unparsable thread count used to fall back silently to the machine's
+/// full parallelism, which is exactly the wrong surprise on a shared
+/// node.
 pub fn num_threads() -> usize {
     let cached = NUM_THREADS.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
     }
-    let n = std::env::var("ADERDG_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
+    let var = std::env::var("ADERDG_THREADS");
+    let n = resolve_num_threads(var.as_deref().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     NUM_THREADS.store(n, Ordering::Relaxed);
     n
+}
+
+/// Parses an `ADERDG_THREADS` value (`None` = unset, fall back to the
+/// machine's available parallelism); panics on a non-integer or zero.
+fn resolve_num_threads(value: Option<&str>) -> Option<usize> {
+    let s = value?;
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => panic!("invalid ADERDG_THREADS `{s}` (expected a positive integer)"),
+    }
 }
 
 /// Overrides the worker-thread count for subsequent parallel calls and
@@ -692,6 +735,46 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn env_knobs_accept_documented_values() {
+        assert_eq!(resolve_pool_mode(None), PoolMode::Persistent);
+        assert_eq!(resolve_pool_mode(Some("persistent")), PoolMode::Persistent);
+        assert_eq!(resolve_pool_mode(Some("scoped")), PoolMode::Scoped);
+
+        assert_eq!(resolve_num_threads(None), None);
+        assert_eq!(resolve_num_threads(Some("1")), Some(1));
+        assert_eq!(resolve_num_threads(Some("16")), Some(16));
+
+        assert!(!resolve_pin(None));
+        assert!(!resolve_pin(Some("")));
+        assert!(!resolve_pin(Some("0")));
+        assert!(resolve_pin(Some("1")));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ADERDG_POOL `scope`")]
+    fn pool_mode_typo_fails_loudly() {
+        resolve_pool_mode(Some("scope"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ADERDG_THREADS `four`")]
+    fn thread_count_typo_fails_loudly() {
+        resolve_num_threads(Some("four"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ADERDG_THREADS `0`")]
+    fn zero_thread_count_fails_loudly() {
+        resolve_num_threads(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ADERDG_PIN `yes`")]
+    fn pin_typo_fails_loudly() {
+        resolve_pin(Some("yes"));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! assert!(summary.l2_error.is_some()); // this scenario has an exact solution
 //! ```
 
+use crate::checkpoint::Checkpoint;
 use crate::engine::{Engine, EngineConfig, PipelineMode};
 use crate::registry::KernelRegistry;
 use crate::spec::SolverSpec;
@@ -32,7 +33,9 @@ use crate::tune::TuningMode;
 use aderdg_mesh::StructuredMesh;
 use aderdg_pde::{ExactSolution, LinearPde, PointSource};
 use std::fmt;
-use std::sync::{OnceLock, RwLock};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 /// Static description of a registered scenario: identity, physics label,
@@ -118,6 +121,25 @@ pub struct RunRequest {
     /// Write a nodal CSV snapshot of the final state here (via
     /// [`crate::output::write_csv`]).
     pub snapshot: Option<std::path::PathBuf>,
+    /// Save a [`Checkpoint`] of the engine state here when the run
+    /// completes or pauses (written atomically; a completed-run
+    /// checkpoint can be resumed with a larger `t_end` to extend it).
+    pub save_checkpoint: Option<PathBuf>,
+    /// Resume from this checkpoint instead of the initial condition.
+    /// Build the rest of the request from
+    /// [`Checkpoint::to_request`] so the engine configuration matches
+    /// the saved state.
+    pub resume: Option<Arc<Checkpoint>>,
+    /// Cooperative pause/cancel control, polled between steps (shared
+    /// with a job queue, server connection or signal handler).
+    pub control: Option<Arc<RunControl>>,
+}
+
+/// Why [`RunRequest::set`] rejected a value: what the key expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetValueError {
+    /// Human-readable expectation, e.g. `an integer 2..=15`.
+    pub expected: &'static str,
 }
 
 /// Number of CFL steps a `--smoke` run takes (instead of targeting
@@ -138,6 +160,64 @@ impl RunRequest {
         }
     }
 
+    /// Applies one `key = value` knob by name — the single shared parser
+    /// behind CLI flags, config-file entries, `aderdg-serve` `SUBMIT`
+    /// commands and checkpoint-knob replay. Returns `Ok(false)` for an
+    /// unknown key (the caller owns that error's wording) and
+    /// [`SetValueError`] for a bad value.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<bool, SetValueError> {
+        fn parse<T: std::str::FromStr>(
+            value: &str,
+            expected: &'static str,
+        ) -> Result<T, SetValueError> {
+            value.parse().map_err(|_| SetValueError { expected })
+        }
+        let bad = |expected: &'static str| SetValueError { expected };
+        match key {
+            "order" => self.order = Some(parse(value, "an integer 2..=15")?),
+            "kernel" => self.kernel = Some(value.to_string()),
+            "cfl" => self.cfl = Some(parse(value, "a number in (0, 0.45]")?),
+            "width" => {
+                self.width =
+                    Some(crate::spec::parse_width(value).ok_or(bad("sse|avx2|avx512|host"))?)
+            }
+            "rule" => {
+                self.rule = Some(
+                    crate::spec::parse_rule(value).ok_or(bad("gauss_legendre|gauss_lobatto"))?,
+                )
+            }
+            "block_size" => {
+                self.block_size = Some(
+                    crate::spec::parse_auto_size(value).ok_or(bad("auto or an integer >= 1"))?,
+                )
+            }
+            "tuning" => {
+                self.tuning = Some(TuningMode::parse(value).ok_or(bad("static|model|probe"))?)
+            }
+            "pipeline" => {
+                self.pipeline = Some(PipelineMode::parse(value).ok_or(bad("barrier|sharded"))?)
+            }
+            "shard_size" => {
+                self.shard_size = Some(
+                    crate::spec::parse_auto_size(value).ok_or(bad("auto or an integer >= 1"))?,
+                )
+            }
+            "cells" => self.cells = Some(parse(value, "an integer >= 1")?),
+            "t_end" => self.t_end = Some(parse(value, "a positive number")?),
+            "smoke" => {
+                self.smoke = match value {
+                    "true" => true,
+                    "false" => false,
+                    _ => return Err(bad("true|false")),
+                }
+            }
+            "snapshot" => self.snapshot = Some(PathBuf::from(value)),
+            "save_checkpoint" => self.save_checkpoint = Some(PathBuf::from(value)),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
     /// Copies every solver knob of a parsed [`SolverSpec`] into explicit
     /// overrides — the spec-file route into a scenario ("any scenario ×
     /// any `SolverSpec` knob").
@@ -152,6 +232,96 @@ impl RunRequest {
         self.pipeline = Some(spec.pipeline);
         self.shard_size = Some(spec.shard_size);
         self
+    }
+}
+
+/// Cooperative control of an in-flight scenario run: [`drive`] polls it
+/// at every step boundary, so a pause or cancel takes effect without
+/// interrupting a step — the engine is always left in a
+/// checkpointable state. The other `Arc` holder is typically a job
+/// queue ([`crate::jobs`]), a server connection or a signal handler.
+///
+/// The driver also publishes live step/time progress here, so a service
+/// can report status without touching the engine from another thread.
+#[derive(Debug)]
+pub struct RunControl {
+    pause: AtomicBool,
+    cancel: AtomicBool,
+    /// Pause once `engine.steps` reaches this (`usize::MAX` = never) — a
+    /// deterministic pause trigger for tests and scripted
+    /// checkpointing.
+    pause_at_step: AtomicUsize,
+    steps: AtomicUsize,
+    time_bits: AtomicU64,
+}
+
+impl RunControl {
+    /// A control with nothing requested.
+    pub fn new() -> Self {
+        Self {
+            pause: AtomicBool::new(false),
+            cancel: AtomicBool::new(false),
+            pause_at_step: AtomicUsize::new(usize::MAX),
+            steps: AtomicUsize::new(0),
+            time_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Asks the run to stop at the next step boundary and return a
+    /// paused [`RunSummary`] (checkpointable via
+    /// [`RunRequest::save_checkpoint`]).
+    pub fn request_pause(&self) {
+        self.pause.store(true, Ordering::Relaxed);
+    }
+
+    /// Asks the run to stop at the next step boundary and fail with a
+    /// "run cancelled" [`ScenarioError`].
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Arms an automatic pause once the engine's step count reaches
+    /// `step` — deterministic, unlike a racing [`request_pause`].
+    ///
+    /// [`request_pause`]: RunControl::request_pause
+    pub fn pause_at_step(&self, step: usize) {
+        self.pause_at_step.store(step, Ordering::Relaxed);
+    }
+
+    /// Whether a pause has been requested (flag or armed step trigger).
+    pub fn pause_requested(&self) -> bool {
+        self.pause.load(Ordering::Relaxed)
+            || self.pause_at_step.load(Ordering::Relaxed) != usize::MAX
+    }
+
+    /// Whether a cancel has been requested.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The driver's last published `(steps, time)` progress.
+    pub fn progress(&self) -> (usize, f64) {
+        (
+            self.steps.load(Ordering::Relaxed),
+            f64::from_bits(self.time_bits.load(Ordering::Relaxed)),
+        )
+    }
+
+    fn note_progress(&self, steps: usize, time: f64) {
+        self.steps.store(steps, Ordering::Relaxed);
+        self.time_bits.store(time.to_bits(), Ordering::Relaxed);
+    }
+
+    fn should_stop(&self, steps: usize) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+            || self.pause.load(Ordering::Relaxed)
+            || steps >= self.pause_at_step.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for RunControl {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -208,6 +378,10 @@ pub struct RunSummary {
     pub steps: usize,
     /// Simulated end time actually reached.
     pub t_end: f64,
+    /// True if the run stopped early on a [`RunControl`] pause request
+    /// (the state was checkpointable at that boundary; `t_end` is where
+    /// it paused, not the target).
+    pub paused: bool,
     /// Wall-clock seconds spent stepping (excludes setup and the
     /// per-checkpoint norm/error diagnostics).
     pub wall_seconds: f64,
@@ -570,23 +744,60 @@ where
         engine.add_receiver(position);
     }
 
-    let integrals_initial = engine.integrals();
     let l2_error_of = |e: &Engine<P>| parts.exact.map(|ex| e.l2_error(ex));
-    let mut series = vec![SeriesPoint {
-        t: engine.time,
-        steps: 0,
-        l2_norm: engine.l2_norm(),
-        l2_error: l2_error_of(&engine),
-    }];
+    // Resume: restore the saved DOFs/clock/records into the freshly
+    // built engine and carry the checkpoint's series and conservation
+    // baselines forward; otherwise record the t = 0 point.
+    let (integrals_initial, mut series) = match &req.resume {
+        Some(ck) => {
+            if ck.scenario != info.name {
+                return Err(ScenarioError::new(format!(
+                    "checkpoint is for scenario `{}`, not `{}`",
+                    ck.scenario, info.name
+                )));
+            }
+            engine
+                .restore_state(&ck.engine)
+                .map_err(ScenarioError::new)?;
+            (ck.integrals_initial.clone(), ck.series.clone())
+        }
+        None => {
+            let integrals = engine.integrals();
+            let series = vec![SeriesPoint {
+                t: engine.time,
+                steps: 0,
+                l2_norm: engine.l2_norm(),
+                l2_error: l2_error_of(&engine),
+            }];
+            (integrals, series)
+        }
+    };
+    let steps_before = engine.steps;
+
+    let ctl = req.control.as_deref();
+    let keep_going = |e: &Engine<P>| match ctl {
+        None => true,
+        Some(c) => {
+            c.note_progress(e.steps, e.time);
+            !c.should_stop(e.steps)
+        }
+    };
 
     // Wall time accumulates around the stepping only: the per-checkpoint
     // norm/error evaluations are diagnostics, and including them would
     // deflate `cell_updates_per_second` — the throughput number kernels
     // and pipelines are compared by.
     let mut wall_seconds = 0.0;
+    let mut paused = false;
     match r.fixed_steps {
         Some(steps) => {
-            for _ in 0..steps {
+            // `while` (not `for`): a resumed run continues from the
+            // restored step count.
+            while engine.steps < steps {
+                if !keep_going(&engine) {
+                    paused = true;
+                    break;
+                }
                 let dt = engine.max_dt();
                 if !(dt.is_finite() && dt > 0.0) {
                     return Err(ScenarioError::new(format!("degenerate time step {dt}")));
@@ -604,9 +815,24 @@ where
         }
         None => {
             for k in 1..=SERIES_CHECKPOINTS {
+                let target = r.t_end * k as f64 / SERIES_CHECKPOINTS as f64;
+                if engine.time >= target - target.abs() * 1e-12 {
+                    // A resumed run is already past this checkpoint; its
+                    // series point came with the checkpoint.
+                    continue;
+                }
                 let wall = Instant::now();
-                engine.run_until(r.t_end * k as f64 / SERIES_CHECKPOINTS as f64);
+                // The control check lives inside the step loop against
+                // the *real* target, so the dt sequence — and with it
+                // every bit of the state — matches an uninterrupted run.
+                let reached = engine
+                    .advance_until(target, &keep_going)
+                    .map_err(ScenarioError::new)?;
                 wall_seconds += wall.elapsed().as_secs_f64();
+                if !reached {
+                    paused = true;
+                    break;
+                }
                 series.push(SeriesPoint {
                     t: engine.time,
                     steps: engine.steps,
@@ -616,14 +842,31 @@ where
             }
         }
     }
-
-    if let Some(path) = &req.snapshot {
-        let mut file = std::fs::File::create(path)
-            .map_err(|e| ScenarioError::new(format!("cannot create {}: {e}", path.display())))?;
-        crate::output::write_csv(&engine, &mut file)
-            .map_err(|e| ScenarioError::new(format!("cannot write {}: {e}", path.display())))?;
+    if paused {
+        if let Some(c) = ctl {
+            if c.cancel_requested() {
+                return Err(ScenarioError::new("run cancelled"));
+            }
+        }
     }
 
+    if let Some(path) = &req.snapshot {
+        crate::output::write_atomic(path, |f| crate::output::write_csv(&engine, f))
+            .map_err(|e| ScenarioError::new(format!("cannot write {}: {e}", path.display())))?;
+    }
+    if let Some(path) = &req.save_checkpoint {
+        let ck = Checkpoint {
+            scenario: info.name.to_string(),
+            smoke: req.smoke,
+            knobs: checkpoint_knobs(&engine, &r, req),
+            integrals_initial: integrals_initial.clone(),
+            series: series.clone(),
+            engine: engine.save_state(),
+        };
+        ck.save(path).map_err(ScenarioError::new)?;
+    }
+
+    let steps_run = engine.steps - steps_before;
     let tune = engine.tune_report();
     let last = series.last().expect("series has the initial point");
     Ok(RunSummary {
@@ -642,9 +885,10 @@ where
         ),
         steps: engine.steps,
         t_end: engine.time,
+        paused,
         wall_seconds,
         cell_updates_per_second: if wall_seconds > 0.0 {
-            (num_cells * engine.steps) as f64 / wall_seconds
+            (num_cells * steps_run) as f64 / wall_seconds
         } else {
             0.0
         },
@@ -662,6 +906,42 @@ where
             })
             .collect(),
     })
+}
+
+/// The fully resolved knob set a checkpoint stores: replayed through
+/// [`RunRequest::set`], these rebuild the exact engine configuration —
+/// the tuner's block-size pick is pinned as an explicit integer, the
+/// pipeline is pinned against `ADERDG_PIPELINE` drift between save and
+/// resume, and the SIMD width is pinned so the padded state layout
+/// survives a move to a different host.
+fn checkpoint_knobs<P: LinearPde>(
+    engine: &Engine<P>,
+    r: &Resolved,
+    req: &RunRequest,
+) -> Vec<(String, String)> {
+    let c = &engine.config;
+    let width = c.width.unwrap_or(aderdg_tensor::SimdWidth::host());
+    let mut knobs: Vec<(String, String)> = vec![
+        ("order".into(), c.order.to_string()),
+        ("kernel".into(), c.kernel.name().to_string()),
+        ("cfl".into(), c.cfl.to_string()),
+        ("width".into(), crate::spec::width_name(width).into()),
+        ("rule".into(), crate::spec::rule_name(c.rule).into()),
+        ("block_size".into(), engine.block_size().to_string()),
+        ("tuning".into(), c.tuning.as_str().into()),
+        ("pipeline".into(), c.pipeline.as_str().into()),
+    ];
+    if let Some(s) = c.shard_size {
+        knobs.push(("shard_size".into(), s.to_string()));
+    }
+    if let Some(cells) = req.cells {
+        knobs.push(("cells".into(), cells.to_string()));
+    }
+    if !req.smoke {
+        // Smoke runs are step-bounded; `t_end` would conflict at resume.
+        knobs.push(("t_end".into(), r.t_end.to_string()));
+    }
+    knobs
 }
 
 #[cfg(test)]

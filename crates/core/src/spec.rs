@@ -58,6 +58,27 @@ pub fn parse_width(value: &str) -> Option<SimdWidth> {
     }
 }
 
+/// The canonical keyword of a SIMD width (inverse of [`parse_width`]'s
+/// primary spellings). `host` always resolves to a concrete width at
+/// parse time, so checkpoints pin the exact padding they were saved
+/// with.
+pub fn width_name(width: SimdWidth) -> &'static str {
+    match width {
+        SimdWidth::W2 => "sse",
+        SimdWidth::W4 => "avx2",
+        SimdWidth::W8 => "avx512",
+    }
+}
+
+/// The canonical keyword of a quadrature rule (inverse of
+/// [`parse_rule`]).
+pub fn rule_name(rule: QuadratureRule) -> &'static str {
+    match rule {
+        QuadratureRule::GaussLegendre => "gauss_legendre",
+        QuadratureRule::GaussLobatto => "gauss_lobatto",
+    }
+}
+
 /// Parses a quadrature-rule keyword (`gauss_legendre` | `gauss_lobatto`).
 pub fn parse_rule(value: &str) -> Option<QuadratureRule> {
     match value {

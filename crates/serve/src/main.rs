@@ -1,0 +1,44 @@
+//! `aderdg-serve` entry point: parse, dispatch, serve. All the logic
+//! lives in the library so it stays unit testable.
+
+use aderdg_serve::{parse_serve_args, smoke, ServeCommand, Server, USAGE};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_serve_args(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("aderdg-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    match command {
+        ServeCommand::Help => print!("{USAGE}"),
+        ServeCommand::Smoke => {
+            let mut log = std::io::stdout();
+            if let Err(e) = smoke(&mut log) {
+                eprintln!("aderdg-serve: smoke test failed: {e}");
+                std::process::exit(1);
+            }
+            println!("aderdg-serve: smoke test passed");
+        }
+        ServeCommand::Serve { addr, jobs } => {
+            let queue = Arc::new(aderdg_core::jobs::JobQueue::new(jobs));
+            let mut server = match Server::start(&addr, Arc::clone(&queue)) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("aderdg-serve: cannot bind {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "aderdg-serve: listening on {} with {jobs} job runner(s) — \
+                 connect and type HELP",
+                server.addr()
+            );
+            server.wait();
+            queue.shutdown();
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end tests of the aderdg-serve TCP server: the full `--smoke`
+//! self-test (≥ 8 concurrent jobs + pause/checkpoint/resume equality)
+//! plus targeted protocol checks over a real socket.
+
+use aderdg_core::jobs::JobQueue;
+use aderdg_serve::{smoke, Client, Server};
+use std::sync::Arc;
+
+#[test]
+fn smoke_self_test_passes() {
+    let mut log = Vec::new();
+    if let Err(e) = smoke(&mut log) {
+        panic!(
+            "serve smoke failed: {e}\nlog:\n{}",
+            String::from_utf8_lossy(&log)
+        );
+    }
+    let log = String::from_utf8_lossy(&log);
+    assert!(log.contains("concurrent jobs done"), "{log}");
+    assert!(log.contains("series matches"), "{log}");
+}
+
+#[test]
+fn protocol_over_a_real_socket() {
+    let queue = Arc::new(JobQueue::new(2));
+    let mut server = Server::start("127.0.0.1:0", Arc::clone(&queue)).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    assert_eq!(client.cmd("PING").unwrap(), Ok("pong".into()));
+    let help = client.cmd_data("HELP").unwrap().expect("HELP payload");
+    assert!(help.iter().any(|l| l.contains("SUBMIT")), "{help:?}");
+
+    // Errors come back as ERR lines, not dropped connections.
+    let err = client.cmd("SUBMIT nope").unwrap().unwrap_err();
+    assert!(err.contains("unknown scenario"), "{err}");
+    let err = client.cmd_data("SERIES 99").unwrap().unwrap_err();
+    assert!(err.contains("no such job"), "{err}");
+
+    // A second client sees the same queue.
+    let reply = client
+        .cmd("SUBMIT acoustic_wave smoke=true")
+        .unwrap()
+        .expect("submit");
+    let id = reply.strip_prefix("id=").expect("id=<n>").to_string();
+    let mut other = Client::connect(server.addr()).expect("second connect");
+    let status = other.cmd(&format!("WAIT {id}")).unwrap().expect("wait");
+    assert!(status.contains("status=done"), "{status}");
+    let list = other.cmd_data("LIST").unwrap().expect("list");
+    assert_eq!(list.len(), 1, "{list:?}");
+    let summary = other.cmd_data(&format!("SUMMARY {id}")).unwrap().unwrap();
+    assert!(
+        summary[0].starts_with("scenario acoustic_wave"),
+        "{summary:?}"
+    );
+
+    server.stop();
+    queue.shutdown();
+}
+
+#[test]
+fn cancel_over_the_wire() {
+    let queue = Arc::new(JobQueue::new(1));
+    let mut server = Server::start("127.0.0.1:0", Arc::clone(&queue)).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Occupy the single runner with a long run, cancel a queued job
+    // before it ever starts, then cancel the blocker mid-run.
+    let first = client
+        .cmd("SUBMIT acoustic_wave cells=4 t_end=1000 tuning=static")
+        .unwrap()
+        .expect("submit");
+    let second = client
+        .cmd("SUBMIT acoustic_wave smoke=true")
+        .unwrap()
+        .expect("submit");
+    let second_id = second.strip_prefix("id=").unwrap().to_string();
+    client
+        .cmd(&format!("CANCEL {second_id}"))
+        .unwrap()
+        .expect("cancel queued");
+    let status = client
+        .cmd(&format!("WAIT {second_id}"))
+        .unwrap()
+        .expect("wait queued victim");
+    assert!(status.contains("status=cancelled"), "{status}");
+    let first_id = first.strip_prefix("id=").unwrap().to_string();
+    client
+        .cmd(&format!("CANCEL {first_id}"))
+        .unwrap()
+        .expect("cancel running");
+    let status = client
+        .cmd(&format!("WAIT {first_id}"))
+        .unwrap()
+        .expect("wait blocker");
+    assert!(status.contains("status=cancelled"), "{status}");
+
+    server.stop();
+    queue.shutdown();
+}
