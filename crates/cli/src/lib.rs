@@ -530,7 +530,11 @@ pub fn run_sweep(args: &RunArgs, log: &mut dyn Write) -> Result<(), CliError> {
     for (label, job) in &jobs {
         match job.wait() {
             JobStatus::Done => {
-                let s = job.summary().expect("done job has a summary");
+                let Some(s) = job.summary() else {
+                    return Err(CliError::new(format!(
+                        "job `{label}` reported done without a summary"
+                    )));
+                };
                 let _ = writeln!(
                     log,
                     "  ok   {label:<44} {} steps, t = {:.6}, L2 norm {:.6e}",

@@ -80,7 +80,7 @@ impl std::error::Error for CheckpointError {}
 
 /// One receiver probe's saved state: identity (position) plus every
 /// recorded sample.
-#[derive(Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReceiverState {
     /// Physical probe position (matched against the rebuilt engine's
     /// receivers at restore).
@@ -212,6 +212,8 @@ impl Checkpoint {
             return Err(CheckpointError::new("not an aderdg checkpoint (bad magic)"));
         }
         let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        // PANIC-OK: internal invariant — `split_at` just made `tail`
+        // exactly 8 bytes (the length was validated above).
         let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
         if fnv1a(payload) != stored {
             return Err(CheckpointError::new(
@@ -364,6 +366,8 @@ impl Reader<'_> {
 
     fn u64(&mut self) -> Result<u64, CheckpointError> {
         Ok(u64::from_le_bytes(
+            // PANIC-OK: internal invariant — `take(8)` returned exactly
+            // 8 bytes or already errored.
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }

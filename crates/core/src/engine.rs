@@ -27,7 +27,7 @@ use crate::tune::{tune_plan, TuneReport, TuningMode};
 use aderdg_mesh::{Face, FaceTopo, Neighbor, ShardPlan, StructuredMesh};
 use aderdg_pde::{LinearPde, PointSource};
 use aderdg_tensor::AlignedVec;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, RwLock};
 
 /// Which step pipeline the engine runs.
@@ -65,6 +65,8 @@ impl PipelineMode {
     pub fn default_from_env() -> Self {
         match std::env::var("ADERDG_PIPELINE") {
             Ok(v) => Self::parse(&v)
+                // PANIC-OK: configuration typos fail loudly by policy
+                // (see doc comment above).
                 .unwrap_or_else(|| panic!("unknown ADERDG_PIPELINE `{v}` (barrier|sharded)")),
             Err(_) => Self::Sharded,
         }
@@ -222,6 +224,8 @@ impl EngineConfig {
     pub fn with_kernel_name(mut self, name: &str) -> Self {
         self.kernel = KernelRegistry::global()
             .resolve(name)
+            // PANIC-OK: documented contract (`# Panics` above); fallible
+            // lookup is `KernelRegistry::resolve`.
             .unwrap_or_else(|| panic!("no registered kernel named `{name}`"));
         self
     }
@@ -355,7 +359,7 @@ pub struct Engine<P: LinearPde> {
     /// Per-cell source projections: spatial `node_coeffs` computed once at
     /// registration; only the time-dependent `derivs` are refreshed each
     /// step.
-    cell_sources: HashMap<usize, CellSource>,
+    cell_sources: BTreeMap<usize, CellSource>,
     /// Registered receiver probes.
     pub receivers: Vec<Receiver>,
     /// Resolved predictor block size (config override or tuner pick).
@@ -369,6 +373,20 @@ pub struct Engine<P: LinearPde> {
     pub time: f64,
     /// Steps taken.
     pub steps: usize,
+}
+
+impl<P: LinearPde> std::fmt::Debug for Engine<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("dims", &self.mesh.dims)
+            .field("order", &self.config.order)
+            .field("kernel", &self.config.kernel.name())
+            .field("pipeline", &self.config.pipeline)
+            .field("block_size", &self.block_size)
+            .field("time", &self.time)
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Shard-pipeline state: the partition/face index plus the face-indexed
@@ -433,6 +451,8 @@ struct ShardScratch<'a> {
 fn dep_guard<T>(guards: &[(usize, T)], shard: usize) -> &T {
     let i = guards
         .binary_search_by_key(&shard, |g| g.0)
+        // PANIC-OK: internal invariant — the static task graph listed
+        // every shard this task may read.
         .expect("shard not in the task's dependency set");
     &guards[i].1
 }
@@ -485,7 +505,7 @@ impl<P: LinearPde> Engine<P> {
             state,
             outputs,
             sources: Vec::new(),
-            cell_sources: HashMap::new(),
+            cell_sources: BTreeMap::new(),
             receivers: Vec::new(),
             block_size,
             shards,
@@ -569,6 +589,8 @@ impl<P: LinearPde> Engine<P> {
             let cs = self
                 .cell_sources
                 .get_mut(cell)
+                // PANIC-OK: internal invariant — `add_source` inserts
+                // the projection when it registers the source.
                 .expect("every registered source has a projection");
             cs.derivs = src.amplitude_derivatives(time, n_order);
         }
@@ -766,6 +788,8 @@ impl<P: LinearPde> Engine<P> {
         let kernel = self.config.kernel;
         let bsize = self.block_size;
         let cell_sources = &self.cell_sources;
+        // PANIC-OK: internal invariant — `step` dispatches here only in
+        // sharded mode, which builds the state at construction.
         let shard_state = self.shards.as_ref().expect("sharded pipeline state");
         let splan = &shard_state.plan;
         let ns = splan.num_shards();
@@ -802,6 +826,9 @@ impl<P: LinearPde> Engine<P> {
                     // Predictor over the shard's cells, in predictor
                     // blocks exactly like the barrier path.
                     0 => {
+                        // PANIC-OK: lock poisoning means a sibling task
+                        // panicked; cascading into the batch abort is
+                        // correct (×7 in this function).
                         let state = state_shards[s].lock().unwrap();
                         let mut outs = out_shards[s].write().unwrap();
                         for (bi, chunk) in outs.chunks_mut(bsize).enumerate() {
@@ -830,12 +857,14 @@ impl<P: LinearPde> Engine<P> {
                         let guards: Vec<_> = splan
                             .flux_deps(s)
                             .iter()
+                            // PANIC-OK: poisoning cascades (see above).
                             .map(|&t| (t, out_shards[t].read().unwrap()))
                             .collect();
                         let out_of = |cell: usize| {
                             let t = splan.shard_of(cell);
                             &dep_guard(&guards, t)[cell - splan.shard_range(t).start]
                         };
+                        // PANIC-OK: poisoning cascades (see above).
                         let mut fs = f_star[s].write().unwrap();
                         for (i, id) in splan.owned_faces(s).enumerate() {
                             let dst = &mut fs[i * face_len..(i + 1) * face_len];
@@ -883,12 +912,15 @@ impl<P: LinearPde> Engine<P> {
                     // Volume + six face corrections per cell, reading F*
                     // from the owning shards' segments.
                     _ => {
+                        // PANIC-OK: poisoning cascades (see above).
                         let outs = out_shards[s].read().unwrap();
                         let fguards: Vec<_> = splan
                             .apply_deps(s)
                             .iter()
+                            // PANIC-OK: poisoning cascades (see above).
                             .map(|&t| (t, f_star[t].read().unwrap()))
                             .collect();
+                        // PANIC-OK: poisoning cascades (see above).
                         let mut state = state_shards[s].lock().unwrap();
                         for (i, q) in state.iter_mut().enumerate() {
                             let c = range.start + i;
@@ -927,6 +959,8 @@ impl<P: LinearPde> Engine<P> {
     /// of asserting.
     pub fn run_until(&mut self, t_end: f64) {
         self.advance_until(t_end, |_| true)
+            // PANIC-OK: the unchecked variant's documented contract; the
+            // fallible form is `advance_until`.
             .unwrap_or_else(|e| panic!("{e}"));
     }
 

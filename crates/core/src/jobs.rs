@@ -173,6 +173,15 @@ pub struct JobQueue {
     runners: Mutex<Vec<JoinHandle<()>>>,
 }
 
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("jobs", &lock(&self.shared.jobs).len())
+            .field("pending", &lock(&self.shared.pending).len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl JobQueue {
     /// Starts a queue with `runners` job-runner threads (at least 1).
     /// Runners bound how many engines step *concurrently*; every engine
@@ -191,6 +200,8 @@ impl JobQueue {
                 std::thread::Builder::new()
                     .name(format!("aderdg-job-{i}"))
                     .spawn(move || run_jobs(&shared))
+                    // PANIC-OK: thread spawn fails only on OS resource
+                    // exhaustion; a queue with no runners is unusable.
                     .expect("spawn job runner")
             })
             .collect();
@@ -210,6 +221,8 @@ impl JobQueue {
         scenario: &str,
         mut request: RunRequest,
     ) -> Result<Arc<Job>, ScenarioError> {
+        // ORDERING: Relaxed — an advisory early-out; the authoritative
+        // shutdown handshake happens under the `pending` mutex below.
         if self.shared.shutdown.load(Ordering::Relaxed) {
             return Err(ScenarioError::new("job queue is shut down"));
         }
@@ -226,6 +239,8 @@ impl JobQueue {
             .get_or_insert_with(|| Arc::new(RunControl::new()))
             .clone();
         let job = Arc::new(Job {
+            // ORDERING: Relaxed — a unique-id counter; nothing else is
+            // published through it.
             id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
             scenario,
             request,
@@ -292,6 +307,8 @@ impl JobQueue {
     /// Shuts the queue down: still-queued jobs are marked cancelled,
     /// running jobs get a cancel request and are joined. Idempotent.
     pub fn shutdown(&self) {
+        // ORDERING: Relaxed — runners re-check the flag while holding the
+        // `pending` mutex, whose lock/unlock provides the synchronization.
         self.shared.shutdown.store(true, Ordering::Relaxed);
         for job in self.jobs() {
             if !job.status().is_settled() {
@@ -322,6 +339,8 @@ fn run_jobs(shared: &Shared) {
                 if let Some(job) = pending.pop_front() {
                     break job;
                 }
+                // ORDERING: Relaxed — read under the `pending` mutex; the
+                // mutex orders it against the store in `shutdown`.
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
@@ -331,6 +350,8 @@ fn run_jobs(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        // ORDERING: Relaxed — a missed in-flight shutdown only means this
+        // job runs one more time; `shutdown()` joins the runner either way.
         if shared.shutdown.load(Ordering::Relaxed) || job.control.cancel_requested() {
             job.settle(
                 JobStatus::Cancelled,

@@ -114,6 +114,8 @@ pub fn downcast_scratch<S: StpScratch + 'static>(scratch: &mut dyn StpScratch) -
     scratch
         .as_any_mut()
         .downcast_mut::<S>()
+        // PANIC-OK: documented contract (`# Panics` above) — mispairing
+        // scratch and kernel is a programming error.
         .expect("scratch buffer does not belong to this kernel")
 }
 

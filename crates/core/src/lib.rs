@@ -9,6 +9,8 @@
 //! driving the cell loops and the sharded task graph.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod block;
 pub mod checkpoint;

@@ -104,6 +104,8 @@ pub enum PoolMode {
 /// fail loudly, not silently fall back (same policy as
 /// `PipelineMode::default_from_env`).
 pub fn pool_mode() -> PoolMode {
+    // ORDERING: Relaxed — a standalone cached enum; no other memory is
+    // published through it, and a racing re-resolve is idempotent.
     match POOL_MODE.load(Ordering::Relaxed) {
         1 => PoolMode::Persistent,
         2 => PoolMode::Scoped,
@@ -123,6 +125,8 @@ fn resolve_pool_mode(value: Option<&str>) -> PoolMode {
     match value {
         None | Some("persistent") => PoolMode::Persistent,
         Some("scoped") => PoolMode::Scoped,
+        // PANIC-OK: configuration typos fail loudly by policy (see doc
+        // comment on `pool_mode`).
         Some(other) => panic!("unknown ADERDG_POOL `{other}` (persistent|scoped)"),
     }
 }
@@ -136,6 +140,7 @@ pub fn set_pool_mode(mode: PoolMode) {
         PoolMode::Persistent => 1,
         PoolMode::Scoped => 2,
     };
+    // ORDERING: Relaxed — see the load in `pool_mode`.
     POOL_MODE.store(v, Ordering::Relaxed);
 }
 
@@ -157,6 +162,8 @@ fn resolve_pin(value: Option<&str>) -> bool {
     match value {
         None | Some("") | Some("0") => false,
         Some("1") => true,
+        // PANIC-OK: configuration typos fail loudly by policy (see doc
+        // comment on `pin_workers`).
         Some(other) => panic!("invalid ADERDG_PIN `{other}` (1 to pin workers, 0 or unset not to)"),
     }
 }
@@ -169,6 +176,9 @@ fn resolve_pin(value: Option<&str>) -> bool {
 /// full parallelism, which is exactly the wrong surprise on a shared
 /// node.
 pub fn num_threads() -> usize {
+    // ORDERING: Relaxed — a standalone cached count; racing first-use
+    // resolutions compute the same value, and the pool itself re-reads
+    // this under the registry mutex.
     let cached = NUM_THREADS.load(Ordering::Relaxed);
     if cached != 0 {
         return cached;
@@ -179,6 +189,7 @@ pub fn num_threads() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
     });
+    // ORDERING: Relaxed — see the load above.
     NUM_THREADS.store(n, Ordering::Relaxed);
     n
 }
@@ -189,6 +200,8 @@ fn resolve_num_threads(value: Option<&str>) -> Option<usize> {
     let s = value?;
     match s.parse::<usize>() {
         Ok(n) if n >= 1 => Some(n),
+        // PANIC-OK: configuration typos fail loudly by policy (see doc
+        // comment on `num_threads`).
         _ => panic!("invalid ADERDG_THREADS `{s}` (expected a positive integer)"),
     }
 }
@@ -217,6 +230,8 @@ pub fn set_num_threads(n: usize) {
     );
     // Blocks until no batch is active, making the resize idle-safe.
     let mut guard = lock(&POOL);
+    // ORDERING: Relaxed — written under the registry mutex; parallel
+    // calls re-read it after taking the same mutex.
     NUM_THREADS.store(n, Ordering::Relaxed);
     if let Some(p) = guard.take() {
         if p.size == n {
@@ -241,6 +256,7 @@ fn ensure_pool<'a>(guard: &'a mut MutexGuard<'_, Option<pool::Pool>>) -> &'a mut
         }
         **guard = Some(pool::Pool::new(n, pin_workers()));
     }
+    // PANIC-OK: internal invariant — the branch above just installed it.
     guard.as_mut().expect("pool was just ensured")
 }
 
@@ -397,6 +413,8 @@ pub fn map_max<T: Sync>(items: &[T], identity: f64, f: impl Fn(&T) -> f64 + Sync
                 .collect();
             handles
                 .into_iter()
+                // PANIC-OK: propagating a worker panic to the caller is
+                // the contract — same as the pool's re-raise path.
                 .map(|h| h.join().expect("parallel worker panicked"))
                 .fold(identity, f64::max)
         }),
@@ -410,10 +428,15 @@ pub fn map_max<T: Sync>(items: &[T], identity: f64, f: impl Fn(&T) -> f64 + Sync
             run_pool_batch(n_chunks, 0..n_chunks, &|_ctx, ci| {
                 let part = &items[ci * chunk..(ci * chunk + chunk).min(len)];
                 let m = part.iter().map(&f).fold(identity, f64::max);
+                // ORDERING: Release pairs with the Acquire fold below so
+                // the submitter reads each slot's final value (the batch
+                // join already orders these; the pairing keeps the slot
+                // self-contained).
                 partials[ci].store(m.to_bits(), Ordering::Release);
             });
             partials
                 .iter()
+                // ORDERING: Acquire — see the Release store above.
                 .map(|b| f64::from_bits(b.load(Ordering::Acquire)))
                 .fold(identity, f64::max)
         }
@@ -546,9 +569,11 @@ pub fn run_graph_init<S: Send>(
                     let slot = unsafe { &mut *states[ctx.worker()].0.get() };
                     let state = slot.get_or_insert_with(&init);
                     run(state, t);
-                    // Release our writes to dependents; hand newly-ready
-                    // tasks to our own deque (idle workers steal them).
                     for &d in &dependents[t] {
+                        // ORDERING: AcqRel — Release publishes this
+                        // task's writes to whichever worker runs `d`;
+                        // Acquire makes the last decrementer see every
+                        // predecessor's writes before spawning it.
                         if counters[d].fetch_sub(1, Ordering::AcqRel) == 1 {
                             ctx.spawn(d);
                         }
@@ -612,6 +637,9 @@ fn run_graph_scoped<S>(
                     // Claim the next ready task (or exit when all done /
                     // the graph aborted).
                     let task = {
+                        // PANIC-OK: lock poisoning here means a sibling
+                        // worker already panicked; cascading is correct
+                        // (the scope join re-raises the original).
                         let mut s = sched.lock().unwrap();
                         loop {
                             if s.done == n || s.aborted {
@@ -631,8 +659,13 @@ fn run_graph_scoped<S>(
                                 s.aborted = true;
                                 drop(s);
                                 cv.notify_all();
+                                // PANIC-OK: a cyclic graph is a caller
+                                // bug; the panic propagates through the
+                                // scope join.
                                 panic!("task graph has a cycle ({stuck} tasks stuck)");
                             }
+                            // PANIC-OK: poisoning means a sibling already
+                            // panicked; cascade into the scope join.
                             s = cv.wait(s).unwrap();
                         }
                     };
@@ -644,14 +677,18 @@ fn run_graph_scoped<S>(
                     run(&mut state, task);
                     guard.armed = false;
                     drop(guard);
-                    // Release our writes to dependents; collect the newly
-                    // ready tasks outside the lock.
                     let mut newly: Vec<usize> = Vec::new();
                     for &d in &dependents[task] {
+                        // ORDERING: AcqRel — same pairing as the
+                        // pool-mode executor: Release publishes this
+                        // task's writes; the last decrementer Acquires
+                        // every predecessor's.
                         if counters[d].fetch_sub(1, Ordering::AcqRel) == 1 {
                             newly.push(d);
                         }
                     }
+                    // PANIC-OK: poisoning means a sibling already
+                    // panicked; cascade into the scope join.
                     let mut s = sched.lock().unwrap();
                     s.in_flight -= 1;
                     s.done += 1;
@@ -667,6 +704,8 @@ fn run_graph_scoped<S>(
     });
     // A panicked worker propagated through the scope join above; getting
     // here with unfinished tasks can only mean a logic error.
+    // PANIC-OK: unreachable when poisoned — a worker panic already
+    // propagated through the scope join above.
     let s = sched.into_inner().unwrap();
     debug_assert_eq!(s.done, n, "scheduler exited with unfinished tasks");
 }

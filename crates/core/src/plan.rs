@@ -66,6 +66,8 @@ impl KernelVariant {
     pub fn kernel(&self) -> &'static dyn crate::kernels::StpKernel {
         crate::registry::KernelRegistry::global()
             .resolve(self.key())
+            // PANIC-OK: internal invariant — the registry registers all
+            // four builtin variants at startup.
             .expect("builtin kernel variants are always registered")
     }
 }

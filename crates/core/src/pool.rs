@@ -85,6 +85,8 @@ pub(crate) struct Batch {
 // referent alive, and the referent itself is `Sync` (shared calls from
 // several workers are allowed by its bound).
 unsafe impl Send for Batch {}
+// SAFETY: same argument as `Send` above — `run` is only ever called
+// through a shared reference and its referent is `Sync`.
 unsafe impl Sync for Batch {}
 
 struct BatchSync {
@@ -99,6 +101,9 @@ impl Batch {
         // A valid (pre-validated acyclic) batch spawns all `total` tasks
         // before the last one finishes; an aborted batch stops spawning,
         // so it is done when everything spawned has drained.
+        // ORDERING: Acquire pairs with the Release store in `run_one`, so
+        // a waiter that sees the abort also sees the panic payload write
+        // that preceded it.
         s.finished == s.spawned && (s.spawned == self.total || self.aborted.load(Ordering::Acquire))
     }
 }
@@ -123,6 +128,8 @@ impl TaskCtx<'_> {
     /// deque (LIFO end — it will typically run next, right here, while
     /// its inputs are hot; idle workers steal it from the FIFO end).
     pub(crate) fn spawn(&self, task: usize) {
+        // ORDERING: Acquire pairs with the abort's Release store; a stale
+        // `false` is benign (the spawned task is skipped when popped).
         if self.batch.aborted.load(Ordering::Acquire) {
             // The batch is draining; nothing new may enter it.
             return;
@@ -237,6 +244,8 @@ impl Shared {
         let b = lock(&self.park)
             .batch
             .clone()
+            // PANIC-OK: internal invariant — a queue entry can only exist
+            // while its submitter is parked with the batch installed.
             .expect("a queued task implies an installed batch");
         assert_eq!(
             b.gen, entry_gen,
@@ -249,6 +258,8 @@ impl Shared {
 
 /// Runs one popped task and does its finish accounting.
 fn run_one(shared: &Shared, worker: usize, batch: &Arc<Batch>, task: usize) {
+    // ORDERING: Acquire pairs with the Release store below so a skipped
+    // task never runs concurrently with the panic payload being recorded.
     if !batch.aborted.load(Ordering::Acquire) {
         let ctx = TaskCtx {
             shared,
@@ -266,6 +277,8 @@ fn run_one(shared: &Shared, worker: usize, batch: &Arc<Batch>, task: usize) {
                 *slot = Some(payload);
             }
             drop(slot);
+            // ORDERING: Release publishes the payload write above to any
+            // thread whose Acquire load observes the abort flag.
             batch.aborted.store(true, Ordering::Release);
         }
     }
@@ -353,6 +366,8 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("aderdg-worker-{w}"))
                     .spawn(move || worker_main(shared, w, pin))
+                    // PANIC-OK: thread spawn fails only on OS resource
+                    // exhaustion; a half-built pool is unusable anyway.
                     .expect("failed to spawn pool worker")
             })
             .collect();

@@ -55,6 +55,8 @@ impl KernelRegistry {
     /// If a kernel with the same name is already registered — names are
     /// the resolution key, so a collision is a programming error.
     pub fn register(&self, kernel: &'static dyn StpKernel) {
+        // PANIC-OK: registry poisoning means a register/resolve call
+        // panicked; no sane recovery exists (×4 in this impl).
         let mut kernels = self.kernels.write().expect("kernel registry poisoned");
         assert!(
             !kernels.iter().any(|k| k.name() == kernel.name()),
@@ -69,6 +71,7 @@ impl KernelRegistry {
     pub fn resolve(&self, name: &str) -> Option<&'static dyn StpKernel> {
         self.kernels
             .read()
+            // PANIC-OK: poisoned registry (see `register`).
             .expect("kernel registry poisoned")
             .iter()
             .copied()
@@ -79,6 +82,7 @@ impl KernelRegistry {
     pub fn kernels(&self) -> Vec<&'static dyn StpKernel> {
         self.kernels
             .read()
+            // PANIC-OK: poisoned registry (see `register`).
             .expect("kernel registry poisoned")
             .clone()
     }
@@ -87,6 +91,7 @@ impl KernelRegistry {
     pub fn names(&self) -> Vec<&'static str> {
         self.kernels
             .read()
+            // PANIC-OK: poisoned registry (see `register`).
             .expect("kernel registry poisoned")
             .iter()
             .map(|k| k.name())

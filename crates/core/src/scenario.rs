@@ -36,6 +36,8 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+// DETERMINISM-OK: wall-clock feeds only the reported `wall_seconds`
+// metadata, never the numerics or the dt sequence.
 use std::time::Instant;
 
 /// Static description of a registered scenario: identity, physics label,
@@ -488,6 +490,8 @@ impl ScenarioRegistry {
     /// If a scenario with the same name is already registered — names are
     /// the resolution key, so a collision is a programming error.
     pub fn register(&self, scenario: &'static dyn Scenario) {
+        // PANIC-OK: registry poisoning means a register/resolve call
+        // panicked; no sane recovery exists (×4 in this impl).
         let mut scenarios = self.scenarios.write().expect("scenario registry poisoned");
         assert!(
             !scenarios
@@ -503,6 +507,7 @@ impl ScenarioRegistry {
     pub fn resolve(&self, name: &str) -> Option<&'static dyn Scenario> {
         self.scenarios
             .read()
+            // PANIC-OK: poisoned registry (see `register`).
             .expect("scenario registry poisoned")
             .iter()
             .copied()
@@ -513,6 +518,7 @@ impl ScenarioRegistry {
     pub fn scenarios(&self) -> Vec<&'static dyn Scenario> {
         self.scenarios
             .read()
+            // PANIC-OK: poisoned registry (see `register`).
             .expect("scenario registry poisoned")
             .clone()
     }
@@ -521,6 +527,7 @@ impl ScenarioRegistry {
     pub fn names(&self) -> Vec<&'static str> {
         self.scenarios
             .read()
+            // PANIC-OK: poisoned registry (see `register`).
             .expect("scenario registry poisoned")
             .iter()
             .map(|s| s.info().name)
@@ -675,6 +682,19 @@ where
     pub receivers: Vec<[f64; 3]>,
 }
 
+impl<F> std::fmt::Debug for ScenarioParts<'_, F>
+where
+    F: Fn([f64; 3], &mut [f64], &StructuredMesh) + Sync,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioParts")
+            .field("has_exact", &self.exact.is_some())
+            .field("sources", &self.sources.len())
+            .field("receivers", &self.receivers)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, F> ScenarioParts<'a, F>
 where
     F: Fn([f64; 3], &mut [f64], &StructuredMesh) + Sync,
@@ -802,6 +822,7 @@ where
                 if !(dt.is_finite() && dt > 0.0) {
                     return Err(ScenarioError::new(format!("degenerate time step {dt}")));
                 }
+                // DETERMINISM-OK: timing is reporting-only metadata.
                 let wall = Instant::now();
                 engine.step(dt);
                 wall_seconds += wall.elapsed().as_secs_f64();
@@ -821,6 +842,7 @@ where
                     // series point came with the checkpoint.
                     continue;
                 }
+                // DETERMINISM-OK: timing is reporting-only metadata.
                 let wall = Instant::now();
                 // The control check lives inside the step loop against
                 // the *real* target, so the dt sequence — and with it
@@ -868,6 +890,8 @@ where
 
     let steps_run = engine.steps - steps_before;
     let tune = engine.tune_report();
+    // PANIC-OK: internal invariant — the series is seeded with the t=0
+    // point before the step loop.
     let last = series.last().expect("series has the initial point");
     Ok(RunSummary {
         scenario: info.name,

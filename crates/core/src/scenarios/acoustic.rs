@@ -10,6 +10,7 @@ use aderdg_pde::{Acoustic, AcousticPlaneWave};
 /// `acoustic_wave` — a right-going acoustic plane wave on the periodic
 /// unit cube, checked against the exact solution (the quickstart
 /// workload).
+#[derive(Debug, Clone, Copy)]
 pub struct AcousticWave;
 
 fn plane_wave() -> AcousticPlaneWave {
@@ -58,6 +59,7 @@ impl Scenario for AcousticWave {
 /// the pulse reflects off all six walls while the total pressure integral
 /// stays conserved to round-off (the wall flux of `p` vanishes for the
 /// rigid-wall ghost state).
+#[derive(Debug, Clone, Copy)]
 pub struct AcousticPulse;
 
 impl Scenario for AcousticPulse {

@@ -13,6 +13,7 @@ use aderdg_pde::{
 /// diagonally across the periodic unit cube; the workload behind the
 /// design-order convergence study (run it at several `--order`/`--cells`
 /// combinations and compare `l2_error`).
+#[derive(Debug, Clone, Copy)]
 pub struct AdvectionWave;
 
 /// Advection velocity shared by the PDE and the exact solution.
@@ -57,6 +58,7 @@ impl Scenario for AdvectionWave {
 /// `v = ω ẑ × (x − c)`; the gallery's variable-coefficient workload
 /// (velocity stored per node as parameters), checked against the exact
 /// rigidly-rotated solution.
+#[derive(Debug, Clone, Copy)]
 pub struct AdvectionRotation;
 
 /// Angular velocity: a quarter turn over the default `t_end = 1`.

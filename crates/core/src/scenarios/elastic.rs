@@ -13,6 +13,7 @@ use aderdg_pde::{
 /// `elastic_wave` — a P-wave on the periodic unit cube with the full
 /// `m = 21` stored quantities (identity metric), checked against the
 /// exact plane-wave solution.
+#[derive(Debug, Clone, Copy)]
 pub struct ElasticWave;
 
 impl Scenario for ElasticWave {
@@ -61,6 +62,7 @@ impl Scenario for ElasticWave {
 /// layer over a stiffer half-space on an interface-fitted curvilinear
 /// mesh, a buried Ricker-wavelet point source, a free surface on top and
 /// surface receivers recording seismograms.
+#[derive(Debug, Clone, Copy)]
 pub struct Loh1;
 
 /// LOH1 soft-layer material (scaled units).
@@ -182,6 +184,7 @@ impl Scenario for Loh1 {
 /// bench default (order 5, 6³ cells) but on the paper's 21-quantity
 /// elastic system with the AoSoA SplitCK kernel: a short high-load run
 /// whose `cell_updates_per_second` is the headline number.
+#[derive(Debug, Clone, Copy)]
 pub struct ElasticStress;
 
 impl Scenario for ElasticStress {

@@ -10,6 +10,7 @@ use aderdg_pde::{ExactSolution, Maxwell, MaxwellPlaneWave};
 /// `maxwell_cavity` — a transverse electromagnetic plane wave propagated
 /// for a full period on the periodic unit cube; energy must not grow and
 /// the field is checked against the exact solution.
+#[derive(Debug, Clone, Copy)]
 pub struct MaxwellCavity;
 
 impl Scenario for MaxwellCavity {

@@ -31,6 +31,7 @@ impl ExactSolution for Rest {
 /// well-balanced scheme keeps the lake exactly at rest: the reported
 /// `l2_error` (departure from rest) must stay at round-off even though
 /// the depth parameter varies by 40 % across the domain.
+#[derive(Debug, Clone, Copy)]
 pub struct SweLakeAtRest;
 
 impl Scenario for SweLakeAtRest {
@@ -67,6 +68,7 @@ impl Scenario for SweLakeAtRest {
 /// channel over a flat bottom: gravity waves bounce between the
 /// reflective ends while the total water volume `∫η` stays conserved to
 /// round-off (the wall flux of `η` vanishes for the wall ghost state).
+#[derive(Debug, Clone, Copy)]
 pub struct SweDamBreak;
 
 impl Scenario for SweDamBreak {

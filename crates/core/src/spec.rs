@@ -169,6 +169,8 @@ impl Default for SolverSpec {
             order: 4,
             kernel: KernelRegistry::global()
                 .resolve("generic")
+                // PANIC-OK: internal invariant — builtins register at
+                // startup.
                 .expect("builtin kernels are always registered"),
             width: SimdWidth::host(),
             rule: QuadratureRule::GaussLegendre,

@@ -229,6 +229,8 @@ pub fn model_block_candidates(
                 trace_block_batch(plan, variant, has_ncp, bs, 1, &mut sim);
                 sim.reset_stats();
                 let stages = trace_block_batch(plan, variant, has_ncp, bs, SIM_BLOCKS, &mut sim)
+                    // PANIC-OK: internal invariant — the caller already
+                    // checked this variant has a trace model.
                     .expect("variant has a block model");
                 let stats = sim.stats();
                 BlockCandidate {
@@ -265,6 +267,7 @@ pub fn best_predicted_block_size(candidates: &[BlockCandidate]) -> usize {
             })
             .collect::<Vec<_>>(),
     )
+    // PANIC-OK: documented contract (`# Panics` above).
     .expect("candidate slate is never empty")
 }
 
@@ -288,11 +291,13 @@ fn cached_model_candidates(
         has_ncp,
     );
     let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    // PANIC-OK: memo poisoning means a model run panicked; cascade.
     if let Some(hit) = memo.lock().expect("tuner memo poisoned").get(&key) {
         return hit.clone();
     }
     let computed = model_block_candidates(plan, kernel.name(), has_ncp);
     memo.lock()
+        // PANIC-OK: memo poisoning means a model run panicked; cascade.
         .expect("tuner memo poisoned")
         .insert(key, computed.clone());
     computed
@@ -530,6 +535,8 @@ pub fn tune_plan(
         plan
     } else {
         let chosen = aderdg_gemm::backend_by_name(backend)
+            // PANIC-OK: internal invariant — the ranking chose from the
+            // registered-backend list.
             .expect("backend ranking only returns registered backends");
         StpPlan::with_gemm_backend(cfg, dx, chosen)
     };

@@ -149,7 +149,10 @@ impl GemmBackend for Avx2Backend {
     }
 
     fn supported(&self) -> bool {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        // Miri interprets portable Rust only — never report an ISA path.
+        !cfg!(miri)
+            && std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
     }
 
     fn execute(&self, spec: &GemmSpec, a: &[f64], b: &[f64], c: &mut [f64]) {
@@ -179,7 +182,9 @@ impl GemmBackend for Avx512Backend {
     }
 
     fn supported(&self) -> bool {
-        std::arch::is_x86_feature_detected!("avx512f")
+        // Miri interprets portable Rust only — never report an ISA path.
+        !cfg!(miri)
+            && std::arch::is_x86_feature_detected!("avx512f")
             && std::arch::is_x86_feature_detected!("avx512vl")
     }
 

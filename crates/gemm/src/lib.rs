@@ -11,6 +11,8 @@
 //! kernel body is compiled once per ISA via `#[target_feature]`.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod backend;
 pub mod kernels;

@@ -491,6 +491,9 @@ unsafe fn gemm_tiled<S: SimdF64, const MR: usize, const NV: usize>(
 /// [`gemm_tiled`] with the contraction depth fixed at compile time — the
 /// "generated kernel" trick shared with the autovec path: the `k` loop is
 /// fully unrolled for the depths the DG derivative GEMMs actually use.
+///
+/// # Safety
+/// Same contract as [`gemm_tiled`].
 #[inline(always)]
 unsafe fn gemm_tiled_k<S: SimdF64, const MR: usize, const NV: usize, const K: usize>(
     spec: &GemmSpec,
@@ -506,6 +509,9 @@ unsafe fn gemm_tiled_k<S: SimdF64, const MR: usize, const NV: usize, const K: us
 }
 
 /// Dispatches to a compile-time-`K` instantiation for common DG depths.
+///
+/// # Safety
+/// Same contract as [`gemm_tiled`].
 #[inline(always)]
 unsafe fn gemm_tiled_dispatch<S: SimdF64, const MR: usize, const NV: usize>(
     spec: &GemmSpec,
@@ -555,6 +561,8 @@ impl Microkernel for PortableMicrokernel {
         true
     }
 
+    // SAFETY: contract documented on `Microkernel::kernel` — the caller
+    // checked `supported()`; the body validates operand shapes itself.
     unsafe fn kernel(
         &self,
         spec: &GemmSpec,
@@ -575,6 +583,9 @@ impl Microkernel for PortableMicrokernel {
 pub struct Avx2Microkernel;
 
 #[cfg(target_arch = "x86_64")]
+/// # Safety
+/// Same contract as [`gemm_tiled`], plus the CPU must support
+/// AVX2 and FMA.
 #[target_feature(enable = "avx2,fma")]
 unsafe fn kernel_avx2(
     spec: &GemmSpec,
@@ -602,9 +613,14 @@ impl Microkernel for Avx2Microkernel {
     }
 
     fn supported(&self) -> bool {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        // Miri interprets portable Rust only — never report an ISA path.
+        !cfg!(miri)
+            && std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
     }
 
+    // SAFETY: contract documented on `Microkernel::kernel` — the caller
+    // checked `supported()`; the body validates operand shapes itself.
     unsafe fn kernel(
         &self,
         spec: &GemmSpec,
@@ -627,6 +643,9 @@ impl Microkernel for Avx2Microkernel {
 pub struct Avx512Microkernel;
 
 #[cfg(target_arch = "x86_64")]
+/// # Safety
+/// Same contract as [`gemm_tiled`], plus the CPU must support
+/// AVX-512F, AVX-512VL and FMA.
 #[target_feature(enable = "avx512f,avx512vl,fma")]
 unsafe fn kernel_avx512(
     spec: &GemmSpec,
@@ -641,7 +660,9 @@ unsafe fn kernel_avx512(
 
 #[cfg(target_arch = "x86_64")]
 fn avx512_supported() -> bool {
-    std::arch::is_x86_feature_detected!("avx512f")
+    // Miri interprets portable Rust only — never report an ISA path.
+    !cfg!(miri)
+        && std::arch::is_x86_feature_detected!("avx512f")
         && std::arch::is_x86_feature_detected!("avx512vl")
         && std::arch::is_x86_feature_detected!("fma")
 }
@@ -664,6 +685,8 @@ impl Microkernel for Avx512Microkernel {
         avx512_supported()
     }
 
+    // SAFETY: contract documented on `Microkernel::kernel` — the caller
+    // checked `supported()`; the body validates operand shapes itself.
     unsafe fn kernel(
         &self,
         spec: &GemmSpec,
@@ -687,6 +710,9 @@ impl Microkernel for Avx512Microkernel {
 pub struct Avx512WideMicrokernel;
 
 #[cfg(target_arch = "x86_64")]
+/// # Safety
+/// Same contract as [`gemm_tiled`], plus the CPU must support
+/// AVX-512F, AVX-512VL and FMA.
 #[target_feature(enable = "avx512f,avx512vl,fma")]
 unsafe fn kernel_avx512_wide(
     spec: &GemmSpec,
@@ -717,6 +743,8 @@ impl Microkernel for Avx512WideMicrokernel {
         avx512_supported()
     }
 
+    // SAFETY: contract documented on `Microkernel::kernel` — the caller
+    // checked `supported()`; the body validates operand shapes itself.
     unsafe fn kernel(
         &self,
         spec: &GemmSpec,
@@ -829,7 +857,9 @@ mod tests {
     }
 
     fn all_kernels() -> Vec<&'static dyn Microkernel> {
-        #[cfg(target_arch = "x86_64")]
+        // Under Miri only the portable kernel is interpretable; the ISA
+        // kernels' `supported()` is hard-false there anyway.
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
         {
             vec![
                 &PortableMicrokernel,
@@ -838,7 +868,7 @@ mod tests {
                 &Avx512WideMicrokernel,
             ]
         }
-        #[cfg(not(target_arch = "x86_64"))]
+        #[cfg(any(not(target_arch = "x86_64"), miri))]
         {
             vec![&PortableMicrokernel]
         }
@@ -865,15 +895,20 @@ mod tests {
 
     #[test]
     fn every_kernel_matches_naive_with_and_without_panels() {
-        let shapes = [
-            (1, 1, 1),
-            (4, 8, 5),
-            (8, 8, 5),
-            (9, 7, 3),
-            (17, 23, 6),
-            (5, 16, 11),
-            (21, 40, 13),
-        ];
+        // Miri interprets every FLOP; keep its shape set small.
+        let shapes: &[(usize, usize, usize)] = if cfg!(miri) {
+            &[(1, 1, 1), (4, 8, 5), (9, 7, 3)]
+        } else {
+            &[
+                (1, 1, 1),
+                (4, 8, 5),
+                (8, 8, 5),
+                (9, 7, 3),
+                (17, 23, 6),
+                (5, 16, 11),
+                (21, 40, 13),
+            ]
+        };
         for micro in all_kernels() {
             for (i, &(m, n, k)) in shapes.iter().enumerate() {
                 for &pack in &[(false, false), (true, false), (false, true), (true, true)] {

@@ -86,6 +86,7 @@ impl<const L: usize, const FMA: bool> SimdF64 for F64s<L, FMA> {
         Self([x; L])
     }
 
+    // SAFETY: contract documented on `SimdF64::load`.
     #[inline(always)]
     unsafe fn load(p: *const f64) -> Self {
         // SAFETY: caller guarantees `p` is valid for `L` reads; `[f64; L]`
@@ -94,6 +95,7 @@ impl<const L: usize, const FMA: bool> SimdF64 for F64s<L, FMA> {
         Self(unsafe { p.cast::<[f64; L]>().read_unaligned() })
     }
 
+    // SAFETY: contract documented on `SimdF64::store`.
     #[inline(always)]
     unsafe fn store(self, p: *mut f64) {
         // SAFETY: caller guarantees `p` is valid for `L` writes.

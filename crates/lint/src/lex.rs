@@ -1,0 +1,386 @@
+//! A minimal Rust tokenizer for the invariant lints.
+//!
+//! This is deliberately **not** a parser: the project lints only need to
+//! know *where keywords, identifiers, punctuation and comments are* —
+//! and, crucially, to never mistake the contents of a string literal or
+//! a comment for code (an `unsafe` inside a doc example or an error
+//! message must not trip the safety lint). The lexer therefore handles
+//! the full literal surface of stable Rust:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments
+//!   (`/* /* */ */`, `/** */`),
+//! * string literals with escapes (`"a \" b"`), byte strings (`b".."`),
+//!   C strings (`c".."`),
+//! * raw strings with any hash depth (`r"..."`, `r#".."#`, `br##".."##`),
+//! * char literals incl. escapes (`'\u{1F600}'`, `b'\n'`) vs. lifetimes
+//!   (`'a`, `'static`, `'_`),
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! Every token carries its 1-based `line:col` so diagnostics point at
+//! real source locations.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `Ordering`, `unwrap`, …).
+    Ident,
+    /// One punctuation character (`.`, `:`, `{`, `!`, …).
+    Punct(char),
+    /// String literal of any flavour (escaped, raw, byte, C).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Numeric literal (integer part only; `1.5` lexes as `1` `.` `5`,
+    /// which is all the lints need).
+    Num,
+    /// Comment. `line` distinguishes `//`-style from block comments.
+    Comment {
+        /// True for `//`-style comments, false for `/* */` blocks.
+        line: bool,
+    },
+}
+
+/// One lexeme with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The lexeme kind.
+    pub kind: TokKind,
+    /// The raw source text of the lexeme (including quotes/prefixes for
+    /// literals and the comment markers for comments).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for comment tokens.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::Comment { .. })
+    }
+
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct(ch)
+    }
+
+    /// The contents of a string literal with prefix, hashes and quotes
+    /// stripped (`r#"x"#` → `x`); `None` for non-string tokens.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != TokKind::Str {
+            return None;
+        }
+        let s = self.text.trim_start_matches(['b', 'r', 'c']);
+        let s = s.trim_start_matches('#');
+        let s = s.strip_prefix('"')?;
+        let s = s.trim_end_matches('#');
+        s.strip_suffix('"')
+    }
+}
+
+/// Cursor over the source with line/column tracking.
+struct Cursor<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Cursor<'s> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count one column per character, not per UTF-8 byte.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// True when the bytes at the cursor start a raw/byte/C string literal,
+/// returning the prefix length up to (not including) the opening hashes
+/// or quote.
+fn string_prefix(c: &Cursor<'_>) -> Option<usize> {
+    // Longest first: `br`, `rb` do not exist (only `br`), `cr` does not
+    // exist; the stable prefixes are r, b, br, c and their raw forms.
+    for pre in [&b"br"[..], b"r", b"b", b"c"] {
+        if c.src[c.pos..].starts_with(pre) {
+            let rest = &c.src[c.pos + pre.len()..];
+            let mut i = 0;
+            // Raw strings: optional hashes then a quote. Non-raw (`b`,
+            // `c`): quote must follow the prefix directly.
+            let raw = pre.ends_with(b"r");
+            while raw && rest.get(i) == Some(&b'#') {
+                i += 1;
+            }
+            if rest.get(i) == Some(&b'"') && (raw || i == 0) {
+                return Some(pre.len());
+            }
+        }
+    }
+    None
+}
+
+/// Tokenizes `src`. Unterminated literals/comments end their token at
+/// end of input rather than erroring — the lints degrade gracefully on
+/// code that would not compile anyway.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = c.peek(0) {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        let push = |c: &Cursor<'_>, toks: &mut Vec<Tok>, kind: TokKind| {
+            toks.push(Tok {
+                kind,
+                text: src[start..c.pos].to_string(),
+                line,
+                col,
+            });
+        };
+        match b {
+            b if b.is_ascii_whitespace() => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                while c.peek(0).is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                push(&c, &mut toks, TokKind::Comment { line: true });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push(&c, &mut toks, TokKind::Comment { line: false });
+            }
+            b'"' => {
+                lex_quoted(&mut c);
+                push(&c, &mut toks, TokKind::Str);
+            }
+            _ if string_prefix(&c).is_some() => {
+                let pre = string_prefix(&c).unwrap_or(0);
+                let raw = c.src[c.pos..c.pos + pre].ends_with(b"r");
+                for _ in 0..pre {
+                    c.bump();
+                }
+                if raw {
+                    let mut hashes = 0usize;
+                    while c.peek(0) == Some(b'#') {
+                        hashes += 1;
+                        c.bump();
+                    }
+                    c.bump(); // opening quote
+                    'raw: while let Some(b) = c.bump() {
+                        if b == b'"' {
+                            for h in 0..hashes {
+                                if c.peek(h) != Some(b'#') {
+                                    continue 'raw;
+                                }
+                            }
+                            for _ in 0..hashes {
+                                c.bump();
+                            }
+                            break;
+                        }
+                    }
+                } else {
+                    lex_quoted(&mut c);
+                }
+                push(&c, &mut toks, TokKind::Str);
+            }
+            b'b' if c.peek(1) == Some(b'\'') => {
+                c.bump();
+                lex_char(&mut c);
+                push(&c, &mut toks, TokKind::Char);
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'_`) vs char literal (`'a'`, `'\n'`).
+                let one = c.peek(1);
+                let two = c.peek(2);
+                let is_lifetime =
+                    one.is_some_and(is_ident_start) && one != Some(b'\\') && two != Some(b'\'');
+                if is_lifetime {
+                    c.bump();
+                    while c.peek(0).is_some_and(is_ident_cont) {
+                        c.bump();
+                    }
+                    push(&c, &mut toks, TokKind::Lifetime);
+                } else {
+                    lex_char(&mut c);
+                    push(&c, &mut toks, TokKind::Char);
+                }
+            }
+            b if is_ident_start(b) => {
+                while c.peek(0).is_some_and(is_ident_cont) {
+                    c.bump();
+                }
+                push(&c, &mut toks, TokKind::Ident);
+            }
+            b if b.is_ascii_digit() => {
+                while c.peek(0).is_some_and(is_ident_cont) {
+                    c.bump();
+                }
+                push(&c, &mut toks, TokKind::Num);
+            }
+            _ => {
+                c.bump();
+                push(&c, &mut toks, TokKind::Punct(b as char));
+            }
+        }
+    }
+    toks
+}
+
+/// Consumes a `"`-delimited literal (cursor on the opening quote),
+/// honouring `\"` and `\\` escapes.
+fn lex_quoted(c: &mut Cursor<'_>) {
+    c.bump();
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a `'`-delimited char literal (cursor on the opening quote),
+/// honouring escapes like `'\''` and `'\u{..}'`.
+fn lex_char(c: &mut Cursor<'_>) {
+    c.bump();
+    while let Some(b) = c.bump() {
+        match b {
+            b'\\' => {
+                c.bump();
+            }
+            b'\'' => break,
+            b'\n' => break, // stray quote, not a literal — stop at EOL
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_punct_numbers() {
+        let toks = lex("let x = 42;");
+        assert_eq!(toks.len(), 5);
+        assert!(toks[0].is_ident("let"));
+        assert!(toks[1].is_ident("x"));
+        assert!(toks[2].is_punct('='));
+        assert_eq!(toks[3].kind, TokKind::Num);
+        assert!(toks[4].is_punct(';'));
+    }
+
+    #[test]
+    fn unsafe_in_string_and_comment_is_not_an_ident() {
+        let toks = lex(r#"let s = "unsafe {"; // unsafe here too"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.is_comment()).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r##\"a \"# unsafe \"##; x";
+        let toks = lex(src);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).expect("str");
+        assert_eq!(s.str_content(), Some("a \"# unsafe "));
+        assert!(toks.last().is_some_and(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(kinds(r#"b"x""#), vec![TokKind::Str]);
+        assert_eq!(kinds(r#"c"x""#), vec![TokKind::Str]);
+        assert_eq!(kinds(r##"br#"x"#"##), vec![TokKind::Str]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("a /* x /* y */ z */ b");
+        assert_eq!(toks.len(), 3);
+        assert!(toks[1].is_comment());
+        assert!(toks[2].is_ident("b"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn float_range_does_not_swallow_dots() {
+        // `0..n` and `1.5` both keep their dots as punct tokens.
+        let toks = lex("for i in 0..n { x = 1.5; }");
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 3);
+    }
+}

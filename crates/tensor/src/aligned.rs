@@ -58,6 +58,8 @@ impl AlignedVec {
 
     fn layout(len: usize) -> Layout {
         Layout::from_size_align(len * std::mem::size_of::<f64>(), ALIGNMENT)
+            // PANIC-OK: a buffer bigger than isize::MAX bytes is already
+            // an unrecoverable programming error.
             .expect("AlignedVec layout overflow")
     }
 
