@@ -81,6 +81,7 @@ SOLVER OPTIONS (defaults come from the scenario):
   --block-size <n|auto>     predictor block size
   --tuning <static|model|probe>
   --pipeline <barrier|sharded>
+  --stepping <global|lts>   global CFL dt, or clustered local time stepping
   --shard-size <n|auto>     cells per shard (sharded pipeline)
 
 RUN OPTIONS:
@@ -383,6 +384,7 @@ fn merge_requests(base: &mut RunRequest, over: RunRequest) {
         block_size,
         tuning,
         pipeline,
+        stepping,
         shard_size,
         cells,
         t_end,

@@ -27,6 +27,8 @@
 //! u64    #cells, then #cells · state_len f64 DOFs
 //! u64    #receivers, then (f64×3 position, u64 #records,
 //!                          (f64 t, u64 #values, f64 values…)…) each
+//! u64    #LTS cluster clocks, then (f64 time, u64 sub_steps) each
+//!        (0 for global-stepping runs)
 //! u64    FNV-1a 64 hash of every preceding byte
 //! ```
 //!
@@ -110,6 +112,10 @@ pub struct EngineState {
     pub state: Vec<f64>,
     /// Every receiver's position and records.
     pub receivers: Vec<ReceiverState>,
+    /// Per-cluster `(time, sub_steps)` clocks of the LTS path, indexed
+    /// by cluster level (empty for global-stepping runs — see
+    /// [`Engine::lts_clocks`](crate::engine::Engine::lts_clocks)).
+    pub lts_clocks: Vec<(f64, u64)>,
 }
 
 impl fmt::Debug for EngineState {
@@ -122,6 +128,7 @@ impl fmt::Debug for EngineState {
             .field("steps", &self.steps)
             .field("state", &format_args!("[{} doubles]", self.state.len()))
             .field("receivers", &self.receivers.len())
+            .field("lts_clocks", &self.lts_clocks)
             .finish()
     }
 }
@@ -200,6 +207,11 @@ impl Checkpoint {
                 }
             }
         }
+        put_u64(&mut buf, e.lts_clocks.len() as u64);
+        for &(t, subs) in &e.lts_clocks {
+            put_f64(&mut buf, t);
+            put_u64(&mut buf, subs);
+        }
         let hash = fnv1a(&buf);
         put_u64(&mut buf, hash);
         buf
@@ -272,6 +284,13 @@ impl Checkpoint {
             }
             receivers.push(ReceiverState { position, records });
         }
+        let nclocks = r.len(16)?;
+        let mut lts_clocks = Vec::with_capacity(nclocks);
+        for _ in 0..nclocks {
+            let t = r.f64()?;
+            let subs = r.u64()?;
+            lts_clocks.push((t, subs));
+        }
         if !r.bytes.is_empty() {
             return Err(CheckpointError::new(format!(
                 "{} trailing bytes after the checkpoint payload",
@@ -292,6 +311,7 @@ impl Checkpoint {
                 steps,
                 state,
                 receivers,
+                lts_clocks,
             },
         })
     }
@@ -462,6 +482,7 @@ mod tests {
                     position: [0.5, 0.5, 0.5],
                     records: vec![(0.05, vec![1.0, 2.0]), (0.1, vec![3.0, 4.0])],
                 }],
+                lts_clocks: vec![(0.1, 4), (0.1, 2), (0.1, 1)],
             },
         }
     }
@@ -532,7 +553,8 @@ mod tests {
                         .sum::<usize>()
             })
             .sum::<usize>();
-        let cells_at = bytes.len() - 8 - recv_bytes - state_bytes - 8;
+        let clock_bytes = 8 + ck.engine.lts_clocks.len() * 16;
+        let cells_at = bytes.len() - 8 - clock_bytes - recv_bytes - state_bytes - 8;
         bytes[cells_at..cells_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         let hash = fnv1a(&bytes[..bytes.len() - 8]);
         let n = bytes.len();

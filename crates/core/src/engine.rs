@@ -18,17 +18,20 @@
 
 use crate::block::{BlockInputs, CellBlock};
 use crate::corrector::{apply_face, apply_volume, CorrectorScratch};
-use crate::kernels::{StpKernel, StpOutputs, StpScratch};
+use crate::kernels::{StpInputs, StpKernel, StpOutputs, StpScratch};
 use crate::par;
 use crate::plan::{CellSource, KernelVariant, StpConfig, StpPlan};
 use crate::registry::KernelRegistry;
 use crate::riemann::{boundary_face, rusanov_face, BoundaryScratch};
 use crate::tune::{tune_plan, TuneReport, TuningMode};
-use aderdg_mesh::{Face, FaceTopo, Neighbor, ShardPlan, StructuredMesh};
+use aderdg_mesh::{
+    assign_levels, Face, FaceTopo, LtsGraph, LtsTask, Neighbor, ShardPlan, StructuredMesh,
+    MAX_LTS_LEVEL,
+};
 use aderdg_pde::{LinearPde, PointSource};
 use aderdg_tensor::AlignedVec;
 use std::collections::BTreeMap;
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, OnceLock, RwLock};
 
 /// Which step pipeline the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +80,59 @@ impl PipelineMode {
         match self {
             Self::Barrier => "barrier",
             Self::Sharded => "sharded",
+        }
+    }
+}
+
+/// Which time-stepping strategy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteppingMode {
+    /// Every cell advances at the one global CFL-stable dt. The
+    /// default: simplest, and the reference the LTS path is pinned
+    /// against.
+    Global,
+    /// Clustered local time stepping: cells are bucketed into
+    /// power-of-two dt-clusters ([`aderdg_mesh::assign_levels`]) and
+    /// one [`Engine::step`] advances a whole **macro cycle** on the
+    /// shard task graph — coarse clusters take fewer, longer sub-steps.
+    /// `max_dt` returns the macro step (`2^Lmax` × the global stable
+    /// dt), so drive loops are unchanged. See `docs/LTS.md`.
+    Lts,
+}
+
+impl SteppingMode {
+    /// Parses a specification-file / environment value
+    /// (`global` | `lts`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "global" => Some(Self::Global),
+            "lts" => Some(Self::Lts),
+            _ => None,
+        }
+    }
+
+    /// The process default: `ADERDG_STEPPING` if set (the CI matrix
+    /// forces the LTS path through it), else [`SteppingMode::Global`].
+    ///
+    /// # Panics
+    /// If `ADERDG_STEPPING` is set to an unknown value — configuration
+    /// typos should fail loudly, not silently fall back.
+    pub fn default_from_env() -> Self {
+        match std::env::var("ADERDG_STEPPING") {
+            Ok(v) => Self::parse(&v)
+                // PANIC-OK: configuration typos fail loudly by policy
+                // (see doc comment above).
+                .unwrap_or_else(|| panic!("unknown ADERDG_STEPPING `{v}` (global|lts)")),
+            Err(_) => Self::Global,
+        }
+    }
+
+    /// The specification-file spelling (inverse of
+    /// [`SteppingMode::parse`]).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Global => "global",
+            Self::Lts => "lts",
         }
     }
 }
@@ -170,6 +226,10 @@ pub struct EngineConfig {
     /// Cells per shard of the sharded pipeline (`None` = automatic, see
     /// [`auto_shard_size`]). Ignored on the barrier path.
     pub shard_size: Option<usize>,
+    /// Time-stepping strategy (see [`SteppingMode`]). Under
+    /// [`SteppingMode::Lts`] the engine always runs the LTS shard graph
+    /// and `pipeline` is ignored.
+    pub stepping: SteppingMode,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -184,6 +244,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("tuning", &self.tuning)
             .field("pipeline", &self.pipeline)
             .field("shard_size", &self.shard_size)
+            .field("stepping", &self.stepping)
             .finish()
     }
 }
@@ -207,6 +268,7 @@ impl EngineConfig {
             tuning: TuningMode::default(),
             pipeline: PipelineMode::default_from_env(),
             shard_size: None,
+            stepping: SteppingMode::default_from_env(),
         }
     }
 
@@ -278,6 +340,12 @@ impl EngineConfig {
     pub fn with_shard_size(mut self, shard_size: usize) -> Self {
         assert!(shard_size >= 1, "shard size must be at least 1");
         self.shard_size = Some(shard_size);
+        self
+    }
+
+    /// Selects the time-stepping strategy (builder style).
+    pub fn with_stepping(mut self, stepping: SteppingMode) -> Self {
+        self.stepping = stepping;
         self
     }
 }
@@ -373,6 +441,19 @@ pub struct Engine<P: LinearPde> {
     pub time: f64,
     /// Steps taken.
     pub steps: usize,
+    /// LTS metadata (cluster-aware shard plan, macro task graph, base
+    /// dt), built lazily from the current state's per-cell stable-dt
+    /// field at the first [`Engine::max_dt`] or step under
+    /// [`SteppingMode::Lts`], and invalidated whenever the state is
+    /// replaced wholesale.
+    lts: OnceLock<LtsMeta>,
+    /// LTS runtime buffers (face-flux storage, sub-window accumulators,
+    /// halo half-window outputs), allocated at the first LTS step.
+    lts_bufs: Option<LtsBufs>,
+    /// Per-cluster `(time, sub_steps)` clocks, indexed by cluster level.
+    /// Empty until the first LTS step; serialized through checkpoints so
+    /// a resumed run continues them exactly.
+    lts_clocks: Vec<(f64, u64)>,
 }
 
 impl<P: LinearPde> std::fmt::Debug for Engine<P> {
@@ -446,6 +527,107 @@ struct ShardScratch<'a> {
     boundary: BoundaryScratch,
 }
 
+/// Clustered-LTS metadata: the level-aware shard partition, the macro
+/// task graph over it, and the level-0 (finest) sub-step length. Derived
+/// deterministically from the state the engine held when it was built.
+struct LtsMeta {
+    /// Level-aware shard partition (shards are level-uniform).
+    plan: ShardPlan,
+    /// The macro-cycle task graph (one predict/apply pair per shard per
+    /// sub-window, one flux sweep per shard per owned-face slot).
+    graph: LtsGraph,
+    /// Stable dt of the finest cluster — the global CFL dt. `max_dt`
+    /// reports `dt_base · num_slots` so drive loops step whole macro
+    /// cycles.
+    dt_base: f64,
+}
+
+/// LTS runtime buffers (separate from [`LtsMeta`] so the metadata can be
+/// built from `&self` in `max_dt` while the buffers are installed later
+/// under `&mut self`).
+struct LtsBufs {
+    /// Per-shard F* of the *current* sub-window per owned face,
+    /// overwritten at each re-solve (same layout as the sharded
+    /// pipeline's storage).
+    f_star: Vec<RwLock<Vec<f64>>>,
+    /// Per-shard F* accumulated over a coarse window for cadence-
+    /// mismatched faces: the sub-window-0 solve overwrites, the
+    /// sub-window-1 solve adds, and the coarse cell applies the sum —
+    /// so the face flux telescopes exactly against the fine cell's two
+    /// separate applications. Empty vectors when the run has one level.
+    f_star_acc: Vec<RwLock<Vec<f64>>>,
+    /// Per-shard half-window predictor outputs for cells that border a
+    /// finer face (the sub-window differencing source).
+    halo: Vec<RwLock<HaloShard>>,
+}
+
+/// Half-window predictor outputs of one shard's cells that border a
+/// finer-cadence face.
+struct HaloShard {
+    /// Shard-local indices of those cells, ascending.
+    cells: Vec<usize>,
+    /// Half-dt outputs, parallel to `cells`, rewritten by each of the
+    /// shard's predict tasks.
+    half: Vec<StpOutputs>,
+}
+
+/// Splits a flat per-cell buffer into per-shard mutable slices matching
+/// `splan.shard_range` (LTS shards are contiguous but not uniform —
+/// shard boundaries also break at cluster-level changes, so a plain
+/// `chunks_mut` does not apply).
+fn shard_slices<'a, T>(splan: &ShardPlan, mut buf: &'a mut [T]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(splan.num_shards());
+    for s in 0..splan.num_shards() {
+        let (head, tail) = buf.split_at_mut(splan.shard_range(s).len());
+        out.push(head);
+        buf = tail;
+    }
+    debug_assert!(buf.is_empty(), "shard ranges must tile the buffer");
+    out
+}
+
+/// Composes one sub-window face trace of a coarse cell by differencing
+/// its full- and half-window predictor runs: the CK Taylor coefficients
+/// depend only on `q0`, so the half-dt run's time-integrated trace *is*
+/// the first half-window's exactly, and `full − half` the second's,
+/// elementwise (trace tensors are time-integrals, hence additive over
+/// sub-windows). With ≤ 1-level gradation one halving always suffices.
+fn sub_window_trace(
+    qtmp: &mut [f64],
+    ftmp: &mut [f64],
+    full: &StpOutputs,
+    half: &StpOutputs,
+    fi: usize,
+    sub: usize,
+) {
+    if sub == 0 {
+        qtmp.copy_from_slice(&half.qface[fi]);
+        ftmp.copy_from_slice(&half.fface[fi]);
+    } else {
+        let (qf, ff) = (&full.qface[fi], &full.fface[fi]);
+        let (qh, fh) = (&half.qface[fi], &half.fface[fi]);
+        for i in 0..qtmp.len() {
+            qtmp[i] = qf[i] - qh[i];
+            ftmp[i] = ff[i] - fh[i];
+        }
+    }
+}
+
+/// Per-worker scratch of the LTS step: the sharded step's set plus a
+/// per-cell scratch for halo half-window runs (block scratch may be a
+/// different concrete type) and one face-trace temp pair for sub-window
+/// differencing (at most one side of a face is ever coarse).
+struct LtsScratch<'a> {
+    stp: Box<dyn StpScratch>,
+    cell: Box<dyn StpScratch>,
+    block: CellBlock,
+    sources: Vec<Option<&'a CellSource>>,
+    corr: CorrectorScratch,
+    boundary: BoundaryScratch,
+    qtmp: Vec<f64>,
+    ftmp: Vec<f64>,
+}
+
 /// Looks up a shard's lock guard in a small sorted `(shard, guard)` list
 /// (the per-task dependency guards).
 fn dep_guard<T>(guards: &[(usize, T)], shard: usize) -> &T {
@@ -512,6 +694,9 @@ impl<P: LinearPde> Engine<P> {
             tune: tune_report,
             time: 0.0,
             steps: 0,
+            lts: OnceLock::new(),
+            lts_bufs: None,
+            lts_clocks: Vec::new(),
         }
     }
 
@@ -555,6 +740,10 @@ impl<P: LinearPde> Engine<P> {
                 }
             }
         });
+        // New initial data → new per-cell dt field → new clustering.
+        self.lts = OnceLock::new();
+        self.lts_bufs = None;
+        self.lts_clocks.clear();
     }
 
     /// Registers a point source (projected onto its containing cell).
@@ -614,38 +803,118 @@ impl<P: LinearPde> Engine<P> {
         self.receivers.len() - 1
     }
 
-    /// Maximum stable time step from the multi-dimensional CFL condition
-    /// `Δt ≤ cfl / ((2N − 1) · max_cells Σ_d s_d / Δx_d)` — the wave-speed
+    /// One cell's CFL rate `max_nodes Σ_d s_d / Δx_d` — the wave-speed
     /// contributions of the three dimensions add up.
-    pub fn max_dt(&self) -> f64 {
+    fn cell_rate(&self, q: &[f64]) -> f64 {
         let n = self.plan.n();
         let m = self.plan.m();
         let m_pad = self.plan.aos.m_pad();
         let dx = self.mesh.cell_size();
-        let rate_max = par::map_max(&self.state, 0.0, |q| {
-            let mut rate: f64 = 0.0;
-            for k in 0..n * n * n {
-                let mut r = 0.0;
-                for d in 0..3 {
-                    r += self.pde.max_wavespeed(d, &q[k * m_pad..k * m_pad + m]) / dx[d];
-                }
-                rate = rate.max(r);
+        let mut rate: f64 = 0.0;
+        for k in 0..n * n * n {
+            let mut r = 0.0;
+            for d in 0..3 {
+                r += self.pde.max_wavespeed(d, &q[k * m_pad..k * m_pad + m]) / dx[d];
             }
-            rate
-        });
-        if rate_max == 0.0 {
+            rate = rate.max(r);
+        }
+        rate
+    }
+
+    /// Stable dt for a CFL rate: `cfl / ((2N − 1) · rate)` (infinite for
+    /// a quiescent rate — callers surface that as [`DegenerateDt`]).
+    fn rate_to_dt(&self, rate: f64) -> f64 {
+        if rate == 0.0 {
             f64::INFINITY
         } else {
-            self.config.cfl / ((2.0 * n as f64 - 1.0) * rate_max)
+            self.config.cfl / ((2.0 * self.plan.n() as f64 - 1.0) * rate)
         }
     }
 
-    /// Advances one time step of length `dt`.
+    /// The global CFL-stable dt over all cells.
+    fn base_dt(&self) -> f64 {
+        self.rate_to_dt(par::map_max(&self.state, 0.0, |q| self.cell_rate(q)))
+    }
+
+    /// Maximum stable time step from the multi-dimensional CFL condition
+    /// `Δt ≤ cfl / ((2N − 1) · max_cells Σ_d s_d / Δx_d)`.
+    ///
+    /// Under [`SteppingMode::Lts`] this is the **macro** step
+    /// `dt_base · 2^Lmax` (every [`Engine::step`] then runs one whole
+    /// macro cycle), so CFL-driven loops like [`Engine::advance_until`]
+    /// work unchanged. With a single cluster `Lmax = 0` and the value is
+    /// bit-identical to the global-stepping dt.
+    pub fn max_dt(&self) -> f64 {
+        match self.config.stepping {
+            SteppingMode::Global => self.base_dt(),
+            SteppingMode::Lts => {
+                let meta = self.lts_meta();
+                meta.dt_base * meta.graph.num_slots() as f64
+            }
+        }
+    }
+
+    /// The LTS metadata, built from the *current* state on first use and
+    /// cached until the state is replaced wholesale ([`Engine::set_initial`],
+    /// [`Engine::restore_state`], [`Engine::cell_state_mut`]).
+    fn lts_meta(&self) -> &LtsMeta {
+        self.lts.get_or_init(|| self.build_lts_meta())
+    }
+
+    fn build_lts_meta(&self) -> LtsMeta {
+        let cell_dt: Vec<f64> = self
+            .state
+            .iter()
+            .map(|q| self.rate_to_dt(self.cell_rate(q)))
+            .collect();
+        // Bitwise equal to `base_dt`: f64 division by a positive value
+        // is monotone, so the min over per-cell dt is the dt of the max
+        // per-cell rate.
+        let dt_base = cell_dt.iter().copied().fold(f64::INFINITY, f64::min);
+        let levels = assign_levels(&self.mesh, &cell_dt, MAX_LTS_LEVEL);
+        let shard_size = self
+            .config
+            .shard_size
+            .unwrap_or_else(|| auto_shard_size(self.mesh.num_cells(), self.block_size));
+        let plan = ShardPlan::with_levels(&self.mesh, shard_size, &levels);
+        let graph = LtsGraph::build(&plan);
+        LtsMeta {
+            plan,
+            graph,
+            dt_base,
+        }
+    }
+
+    /// Per-cluster `(time, sub_steps)` clocks of the LTS path, indexed
+    /// by cluster level. Empty until the first LTS step; serialized
+    /// through checkpoints so a resumed run continues them exactly.
+    pub fn lts_clocks(&self) -> &[(f64, u64)] {
+        &self.lts_clocks
+    }
+
+    /// The level-aware shard partition the LTS path steps with (cluster
+    /// levels per shard, per-face cadences). Builds the metadata from
+    /// the current state on first use.
+    pub fn lts_plan(&self) -> &ShardPlan {
+        &self.lts_meta().plan
+    }
+
+    /// Advances one time step of length `dt` (one whole macro cycle
+    /// under [`SteppingMode::Lts`], which ignores the pipeline setting
+    /// and always runs the LTS shard graph).
     pub fn step(&mut self, dt: f64) {
+        // Source amplitude derivatives are refreshed once per (macro)
+        // step at `t_n` — exact for the degenerate single-cluster case;
+        // for time-dependent sources under real sub-cycling this is the
+        // documented approximation (see docs/LTS.md).
         self.refresh_source_derivs();
-        match self.config.pipeline {
-            PipelineMode::Barrier => self.step_barrier(dt),
-            PipelineMode::Sharded => self.step_sharded(dt),
+        match (self.config.stepping, self.config.pipeline) {
+            (SteppingMode::Lts, _) => {
+                self.prepare_lts();
+                self.step_lts(dt);
+            }
+            (SteppingMode::Global, PipelineMode::Barrier) => self.step_barrier(dt),
+            (SteppingMode::Global, PipelineMode::Sharded) => self.step_sharded(dt),
         }
         self.time += dt;
         self.steps += 1;
@@ -948,6 +1217,422 @@ impl<P: LinearPde> Engine<P> {
         );
     }
 
+    /// Ensures the LTS metadata, runtime buffers and per-cluster clocks
+    /// exist for the current state.
+    fn prepare_lts(&mut self) {
+        self.lts_meta();
+        // PANIC-OK: internal invariant — just built above.
+        let meta = self.lts.get().expect("LTS metadata built");
+        let num_levels = meta.plan.num_levels();
+        if self.lts_clocks.len() != num_levels {
+            self.lts_clocks = vec![(self.time, 0); num_levels];
+        }
+        if self.lts_bufs.is_some() {
+            return;
+        }
+        let plan = &self.plan;
+        let splan = &meta.plan;
+        let face_len = plan.face.len();
+        let ns = splan.num_shards();
+        let multi = num_levels > 1;
+        let f_star = (0..ns)
+            .map(|s| RwLock::new(vec![0.0; splan.owned_faces(s).len() * face_len]))
+            .collect();
+        // The accumulator and halo buffers only exist when clusters
+        // actually differ — the degenerate single-cluster path allocates
+        // nothing beyond the sharded pipeline's storage.
+        let f_star_acc = (0..ns)
+            .map(|s| {
+                let len = if multi {
+                    splan.owned_faces(s).len() * face_len
+                } else {
+                    0
+                };
+                RwLock::new(vec![0.0; len])
+            })
+            .collect();
+        let halo = (0..ns)
+            .map(|s| {
+                let level = splan.shard_level(s);
+                let range = splan.shard_range(s);
+                let mut cells = Vec::new();
+                if multi && level > 0 {
+                    for c in range.clone() {
+                        let finer = splan
+                            .cell_faces(c)
+                            .iter()
+                            .any(|&id| splan.face_cadence(id) < level);
+                        if finer {
+                            cells.push(c - range.start);
+                        }
+                    }
+                }
+                let half = cells.iter().map(|_| StpOutputs::new(plan)).collect();
+                RwLock::new(HaloShard { cells, half })
+            })
+            .collect();
+        self.lts_bufs = Some(LtsBufs {
+            f_star,
+            f_star_acc,
+            halo,
+        });
+    }
+
+    /// One **macro cycle** of clustered local time stepping: `2^Lmax`
+    /// level-0 sub-windows, scheduled as the sub-window-resolved
+    /// predict / flux-sweep / apply task graph ([`LtsGraph`]) on the
+    /// persistent pool. `dt` is the macro step; a level-`L` cluster
+    /// takes `2^(Lmax−L)` sub-steps of `dt · 2^L / 2^Lmax` each (exact
+    /// f64 scalings, so a clipped macro step scales all clusters alike).
+    ///
+    /// Cadence-mismatched faces (a cadence-`c` face under a level-`c+1`
+    /// cell) are re-solved per fine sub-window with the coarse side's
+    /// trace composed by [`sub_window_trace`]; the two fine `F*` are
+    /// accumulated and applied once by the coarse cell, so the face flux
+    /// telescopes exactly and conservation holds to round-off.
+    ///
+    /// Determinism: every face flux is computed exactly once per due
+    /// slot by one task from fixed predictor outputs, and every
+    /// application runs in a fixed order — results are bit-identical
+    /// across thread counts and pool modes. With a single cluster the
+    /// graph degenerates to one predict/flux/apply per shard at the full
+    /// dt and the computation is bitwise the sharded step's.
+    ///
+    /// ORDERING: most locks below are uncontended — every pair of
+    /// conflicting accesses to `out`, `state` and `halo` is ordered by
+    /// the task graph (a shard's tasks form a chain `P(k) → … → A(k) →
+    /// P(k+1)`, and every cross-shard read has graph edges placing it
+    /// after the writer and before the next one). `f_star` and
+    /// `f_star_acc` *are* contended (a sweep may rewrite segments of
+    /// faces unrelated to a concurrently-running apply task holding the
+    /// same lock — the data stays disjoint, the lock is shared), so all
+    /// tasks acquire them along one global hierarchy: `f_star[i]` before
+    /// every `f_star_acc[j]`, each tier in ascending shard order. Flux
+    /// takes `f_star[s]` then `f_star_acc[s]`; Apply takes all its
+    /// `f_star` read guards ascending, then all `f_star_acc` read guards
+    /// ascending — strictly increasing ranks, hence no deadlock.
+    fn step_lts(&mut self, dt: f64) {
+        let plan = &self.plan;
+        let pde = &self.pde;
+        let kernel = self.config.kernel;
+        let bsize = self.block_size;
+        let cell_sources = &self.cell_sources;
+        // PANIC-OK: internal invariant — `step` runs `prepare_lts`
+        // first (×2).
+        let meta = self.lts.get().expect("LTS metadata prepared");
+        let bufs = self.lts_bufs.as_ref().expect("LTS buffers prepared");
+        let splan = &meta.plan;
+        let graph = &meta.graph;
+        let num_slots = graph.num_slots();
+        // Exact: `num_slots` is a power of two.
+        let dt_base = dt / num_slots as f64;
+        let face_len = plan.face.len();
+        let multi = splan.num_levels() > 1;
+
+        let out_shards: Vec<RwLock<&mut [StpOutputs]>> = shard_slices(splan, &mut self.outputs)
+            .into_iter()
+            .map(RwLock::new)
+            .collect();
+        let state_shards: Vec<Mutex<&mut [AlignedVec]>> = shard_slices(splan, &mut self.state)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let f_star = &bufs.f_star;
+        let f_star_acc = &bufs.f_star_acc;
+        let halo_shards = &bufs.halo;
+
+        par::run_graph_init(
+            graph.indegree(),
+            graph.dependents(),
+            || LtsScratch {
+                stp: kernel.make_block_scratch(plan, bsize),
+                cell: kernel.make_scratch(plan),
+                block: CellBlock::new(plan, bsize),
+                sources: Vec::with_capacity(bsize),
+                corr: CorrectorScratch::new(plan),
+                boundary: BoundaryScratch::new(plan),
+                qtmp: vec![0.0; face_len],
+                ftmp: vec![0.0; face_len],
+            },
+            |ws, task| match graph.task(task) {
+                // Predictor over the shard's cells at the cluster's own
+                // sub-step, in predictor blocks exactly like the sharded
+                // path, plus half-window runs for halo cells.
+                LtsTask::Predict { shard: s, .. } => {
+                    let level = splan.shard_level(s);
+                    let dt_s = dt_base * (1u64 << level) as f64;
+                    let range = splan.shard_range(s);
+                    // PANIC-OK: lock poisoning means a sibling task
+                    // panicked; cascading into the batch abort is
+                    // correct (likewise for every lock below).
+                    let state = state_shards[s].lock().unwrap();
+                    // PANIC-OK: poisoning cascades (see above).
+                    let mut outs = out_shards[s].write().unwrap();
+                    for (bi, chunk) in outs.chunks_mut(bsize).enumerate() {
+                        let local = bi * bsize;
+                        ws.block.clear();
+                        for i in 0..chunk.len() {
+                            ws.block.push(&state[local + i]);
+                        }
+                        ws.sources.clear();
+                        ws.sources.extend(
+                            (0..chunk.len()).map(|i| cell_sources.get(&(range.start + local + i))),
+                        );
+                        kernel.run_block(
+                            plan,
+                            pde,
+                            ws.stp.as_mut(),
+                            &BlockInputs::new(&ws.block, dt_s, &ws.sources),
+                            chunk,
+                        );
+                    }
+                    // PANIC-OK: poisoning cascades (see above).
+                    let mut halo = halo_shards[s].write().unwrap();
+                    let HaloShard { cells, half } = &mut *halo;
+                    for (hi, &local) in cells.iter().enumerate() {
+                        kernel.run(
+                            plan,
+                            pde,
+                            ws.cell.as_mut(),
+                            &StpInputs {
+                                q0: &state[local][..],
+                                dt: 0.5 * dt_s,
+                                source: cell_sources.get(&(range.start + local)),
+                            },
+                            &mut half[hi],
+                        );
+                    }
+                }
+                // Flux sweep over the shard's owned faces *due at this
+                // sweep's slot*, into the shard's dense F* segment (and
+                // the coarse-window accumulator for mismatched faces).
+                LtsTask::Flux { shard: s, sweep } => {
+                    let slot = graph.sweep_slot(s, sweep);
+                    // Shards whose predictors feed this sweep's active
+                    // faces (the graph listed exactly these).
+                    let mut deps: Vec<usize> = Vec::new();
+                    let mut any_mismatch = false;
+                    for id in splan.owned_faces(s) {
+                        let c = splan.face_cadence(id) as usize;
+                        if slot & ((1usize << c) - 1) != 0 {
+                            continue;
+                        }
+                        match splan.face(id) {
+                            FaceTopo::Interior { lower, upper, .. } => {
+                                let (ls, us) = (splan.shard_of(lower), splan.shard_of(upper));
+                                deps.push(ls);
+                                deps.push(us);
+                                any_mismatch |= (splan.shard_level(ls) as usize) > c
+                                    || (splan.shard_level(us) as usize) > c;
+                            }
+                            FaceTopo::Boundary { cell, .. } => deps.push(splan.shard_of(cell)),
+                        }
+                    }
+                    deps.sort_unstable();
+                    deps.dedup();
+                    let guards: Vec<_> = deps
+                        .iter()
+                        // PANIC-OK: poisoning cascades (see above).
+                        .map(|&t| (t, out_shards[t].read().unwrap()))
+                        .collect();
+                    let hguards: Vec<_> = deps
+                        .iter()
+                        // PANIC-OK: poisoning cascades (see above).
+                        .map(|&t| (t, halo_shards[t].read().unwrap()))
+                        .collect();
+                    // Lock hierarchy: own f_star, then own f_star_acc
+                    // (see the ORDERING note in the doc comment).
+                    // PANIC-OK: poisoning cascades (see above).
+                    let mut fs = f_star[s].write().unwrap();
+                    let mut acc = if any_mismatch {
+                        // PANIC-OK: poisoning cascades (see above).
+                        Some(f_star_acc[s].write().unwrap())
+                    } else {
+                        None
+                    };
+                    for (i, id) in splan.owned_faces(s).enumerate() {
+                        let c = splan.face_cadence(id) as usize;
+                        if slot & ((1usize << c) - 1) != 0 {
+                            continue;
+                        }
+                        let sub = (slot >> c) & 1;
+                        let dst = &mut fs[i * face_len..(i + 1) * face_len];
+                        let mut mismatched = false;
+                        match splan.face(id) {
+                            FaceTopo::Interior { dim, lower, upper } => {
+                                let (ls, us) = (splan.shard_of(lower), splan.shard_of(upper));
+                                let lo =
+                                    &dep_guard(&guards, ls)[lower - splan.shard_range(ls).start];
+                                let up =
+                                    &dep_guard(&guards, us)[upper - splan.shard_range(us).start];
+                                let lo_mis = (splan.shard_level(ls) as usize) > c;
+                                let up_mis = (splan.shard_level(us) as usize) > c;
+                                // Lower cell's upper trace is the left
+                                // state — same convention as the sharded
+                                // path, so F* is bit-identical in the
+                                // degenerate case. The face cadence is
+                                // the *min* adjacent level, so at most
+                                // one side is coarse.
+                                let fl = 2 * dim + 1;
+                                let fu = 2 * dim;
+                                if lo_mis {
+                                    let h = dep_guard(&hguards, ls);
+                                    let hi = h
+                                        .cells
+                                        .binary_search(&(lower - splan.shard_range(ls).start))
+                                        // PANIC-OK: internal invariant —
+                                        // prepare_lts registered a halo
+                                        // slot for every coarse cell
+                                        // bordering a finer face.
+                                        .expect("halo slot for coarse cell");
+                                    sub_window_trace(
+                                        &mut ws.qtmp,
+                                        &mut ws.ftmp,
+                                        lo,
+                                        &h.half[hi],
+                                        fl,
+                                        sub,
+                                    );
+                                } else if up_mis {
+                                    let h = dep_guard(&hguards, us);
+                                    let hi = h
+                                        .cells
+                                        .binary_search(&(upper - splan.shard_range(us).start))
+                                        // PANIC-OK: see the halo-slot
+                                        // invariant above.
+                                        .expect("halo slot for coarse cell");
+                                    sub_window_trace(
+                                        &mut ws.qtmp,
+                                        &mut ws.ftmp,
+                                        up,
+                                        &h.half[hi],
+                                        fu,
+                                        sub,
+                                    );
+                                }
+                                let (ql, flx): (&[f64], &[f64]) = if lo_mis {
+                                    (&ws.qtmp, &ws.ftmp)
+                                } else {
+                                    (&lo.qface[fl], &lo.fface[fl])
+                                };
+                                let (qr, frx): (&[f64], &[f64]) = if up_mis {
+                                    (&ws.qtmp, &ws.ftmp)
+                                } else {
+                                    (&up.qface[fu], &up.fface[fu])
+                                };
+                                rusanov_face(plan, pde, dim, ql, flx, qr, frx, dst);
+                                mismatched = lo_mis || up_mis;
+                            }
+                            FaceTopo::Boundary {
+                                dim,
+                                cell,
+                                side,
+                                kind,
+                            } => {
+                                let t = splan.shard_of(cell);
+                                let out = &dep_guard(&guards, t)[cell - splan.shard_range(t).start];
+                                let fi = 2 * dim + side;
+                                boundary_face(
+                                    plan,
+                                    pde,
+                                    dim,
+                                    side,
+                                    kind,
+                                    &out.qface[fi],
+                                    &out.fface[fi],
+                                    &mut ws.boundary,
+                                    dst,
+                                );
+                            }
+                        }
+                        if mismatched {
+                            // PANIC-OK: internal invariant — a
+                            // mismatched active face set `any_mismatch`.
+                            let acc = acc.as_mut().expect("accumulator acquired");
+                            let a = &mut acc[i * face_len..(i + 1) * face_len];
+                            if sub == 0 {
+                                a.copy_from_slice(dst);
+                            } else {
+                                for (av, dv) in a.iter_mut().zip(dst.iter()) {
+                                    *av += dv;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Volume + six face corrections per cell at the
+                // cluster's sub-step, reading F* from the owning shards'
+                // segments — the accumulated coarse-window flux for
+                // faces finer than this cluster's window.
+                LtsTask::Apply { shard: s, .. } => {
+                    let level = splan.shard_level(s);
+                    let range = splan.shard_range(s);
+                    // PANIC-OK: poisoning cascades (see above).
+                    let outs = out_shards[s].read().unwrap();
+                    let mut owners: Vec<usize> = Vec::new();
+                    for c in range.clone() {
+                        for &id in splan.cell_faces(c) {
+                            owners.push(splan.face_owner(id));
+                        }
+                    }
+                    owners.sort_unstable();
+                    owners.dedup();
+                    // Lock hierarchy: every f_star guard (ascending),
+                    // then every f_star_acc guard (ascending) — see the
+                    // ORDERING note in the doc comment.
+                    let fguards: Vec<_> = owners
+                        .iter()
+                        // PANIC-OK: poisoning cascades (see above).
+                        .map(|&t| (t, f_star[t].read().unwrap()))
+                        .collect();
+                    let aguards: Vec<_> = if multi {
+                        owners
+                            .iter()
+                            // PANIC-OK: poisoning cascades (see above).
+                            .map(|&t| (t, f_star_acc[t].read().unwrap()))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    // PANIC-OK: poisoning cascades (see above).
+                    let mut state = state_shards[s].lock().unwrap();
+                    for (i, q) in state.iter_mut().enumerate() {
+                        let c = range.start + i;
+                        let out = &outs[i];
+                        apply_volume(plan, pde, &mut ws.corr, out, q);
+                        for face in Face::ALL {
+                            let id = splan.cell_faces(c)[face.index()];
+                            let owner = splan.face_owner(id);
+                            let local = id - splan.owned_faces(owner).start;
+                            let seg: &[f64] = if splan.face_cadence(id) < level {
+                                &dep_guard(&aguards, owner)[..]
+                            } else {
+                                &dep_guard(&fguards, owner)[..]
+                            };
+                            let fstar = &seg[local * face_len..(local + 1) * face_len];
+                            apply_face(
+                                plan,
+                                face.dim,
+                                face.side,
+                                fstar,
+                                &out.fface[face.index()],
+                                q,
+                            );
+                        }
+                    }
+                }
+            },
+        );
+
+        // Advance the per-cluster clocks: a level-L cluster took
+        // `2^(Lmax−L)` sub-steps and all clusters meet at `t + dt`.
+        let t_end = self.time + dt;
+        for (level, clock) in self.lts_clocks.iter_mut().enumerate() {
+            clock.0 = t_end;
+            clock.1 += (num_slots >> level) as u64;
+        }
+    }
+
     /// Runs with CFL-limited steps until `t_end` (last step clipped).
     ///
     /// Termination is judged with a tolerance *relative* to `t_end` (one
@@ -1032,6 +1717,7 @@ impl<P: LinearPde> Engine<P> {
                     records: r.records.clone(),
                 })
                 .collect(),
+            lts_clocks: self.lts_clocks.clone(),
         }
     }
 
@@ -1096,6 +1782,12 @@ impl<P: LinearPde> Engine<P> {
         }
         self.time = s.time;
         self.steps = s.steps;
+        // Rebuild the clustering from the restored state (deterministic,
+        // so a resumed LTS run reproduces the saved run's meta exactly);
+        // the per-cluster clocks continue from the checkpoint.
+        self.lts = OnceLock::new();
+        self.lts_bufs = None;
+        self.lts_clocks = s.lts_clocks.clone();
         Ok(())
     }
 
@@ -1268,7 +1960,11 @@ impl<P: LinearPde> Engine<P> {
     }
 
     /// Mutable access to a cell's state (tests, custom initial data).
+    /// Invalidates the cached LTS clustering — state pokes can change
+    /// the per-cell dt field it was derived from.
     pub fn cell_state_mut(&mut self, cell: usize) -> &mut [f64] {
+        self.lts = OnceLock::new();
+        self.lts_bufs = None;
         &mut self.state[cell]
     }
 }

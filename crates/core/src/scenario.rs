@@ -26,7 +26,7 @@
 //! ```
 
 use crate::checkpoint::Checkpoint;
-use crate::engine::{Engine, EngineConfig, PipelineMode};
+use crate::engine::{Engine, EngineConfig, PipelineMode, SteppingMode};
 use crate::registry::KernelRegistry;
 use crate::spec::SolverSpec;
 use crate::tune::TuningMode;
@@ -113,6 +113,8 @@ pub struct RunRequest {
     pub pipeline: Option<PipelineMode>,
     /// Shard size override (`Some(None)` = force `auto`).
     pub shard_size: Option<Option<usize>>,
+    /// Time-stepping strategy override (`global` | `lts`).
+    pub stepping: Option<SteppingMode>,
     /// Uniform cells-per-axis override (scales all three mesh axes).
     pub cells: Option<usize>,
     /// End-time override.
@@ -204,6 +206,9 @@ impl RunRequest {
                     crate::spec::parse_auto_size(value).ok_or(bad("auto or an integer >= 1"))?,
                 )
             }
+            "stepping" => {
+                self.stepping = Some(SteppingMode::parse(value).ok_or(bad("global|lts"))?)
+            }
             "cells" => self.cells = Some(parse(value, "an integer >= 1")?),
             "t_end" => self.t_end = Some(parse(value, "a positive number")?),
             "smoke" => {
@@ -233,6 +238,7 @@ impl RunRequest {
         self.tuning = Some(spec.tuning);
         self.pipeline = Some(spec.pipeline);
         self.shard_size = Some(spec.shard_size);
+        self.stepping = Some(spec.stepping);
         self
     }
 }
@@ -369,6 +375,8 @@ pub struct RunSummary {
     pub kernel: &'static str,
     /// Step pipeline the run used.
     pub pipeline: PipelineMode,
+    /// Time-stepping strategy the run used.
+    pub stepping: SteppingMode,
     /// Resolved predictor block size (tuner pick or override).
     pub block_size: usize,
     /// Chosen GEMM backend (from the tune report).
@@ -647,6 +655,9 @@ pub fn resolve(info: &ScenarioInfo, req: &RunRequest) -> Result<Resolved, Scenar
         }
         config.shard_size = s;
     }
+    if let Some(s) = req.stepping {
+        config.stepping = s;
+    }
     let t_end = req.t_end.unwrap_or(info.t_end);
     if !t_end.is_finite() || t_end <= 0.0 {
         return Err(ScenarioError::new(format!(
@@ -901,6 +912,7 @@ where
         num_cells,
         kernel: engine.config.kernel.name(),
         pipeline: engine.config.pipeline,
+        stepping: engine.config.stepping,
         block_size: engine.block_size(),
         backend: tune.backend,
         tune: format!(
@@ -954,6 +966,9 @@ fn checkpoint_knobs<P: LinearPde>(
         ("block_size".into(), engine.block_size().to_string()),
         ("tuning".into(), c.tuning.as_str().into()),
         ("pipeline".into(), c.pipeline.as_str().into()),
+        // Pinned against `ADERDG_STEPPING` drift between save and
+        // resume, like the pipeline.
+        ("stepping".into(), c.stepping.as_str().into()),
     ];
     if let Some(s) = c.shard_size {
         knobs.push(("shard_size".into(), s.to_string()));

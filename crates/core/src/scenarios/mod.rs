@@ -1,4 +1,4 @@
-//! The built-in scenario gallery — ten registry-resolved workloads
+//! The built-in scenario gallery — eleven registry-resolved workloads
 //! spanning all five PDE systems (acoustics, advection, elasticity,
 //! Maxwell, shallow water).
 //!
@@ -16,7 +16,7 @@ mod elastic;
 mod maxwell;
 mod swe;
 
-pub use acoustic::{AcousticPulse, AcousticWave};
+pub use acoustic::{AcousticLayered, AcousticPulse, AcousticWave};
 pub use advection::{AdvectionRotation, AdvectionWave};
 pub use elastic::{ElasticStress, ElasticWave, Loh1, LOH1_OFFSETS};
 pub use maxwell::MaxwellCavity;
@@ -29,6 +29,7 @@ use crate::scenario::ScenarioRegistry;
 pub fn register_builtin(registry: &ScenarioRegistry) {
     registry.register(&AcousticWave);
     registry.register(&AcousticPulse);
+    registry.register(&AcousticLayered);
     registry.register(&AdvectionWave);
     registry.register(&AdvectionRotation);
     registry.register(&ElasticWave);

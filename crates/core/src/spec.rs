@@ -20,7 +20,7 @@
 //! shard_size = auto
 //! ```
 
-use crate::engine::{EngineConfig, PipelineMode};
+use crate::engine::{EngineConfig, PipelineMode, SteppingMode};
 use crate::kernels::StpKernel;
 use crate::registry::KernelRegistry;
 use crate::tune::TuningMode;
@@ -129,6 +129,11 @@ pub struct SolverSpec {
     /// Cells per shard of the sharded pipeline (`None` = automatic, spec
     /// value `auto`).
     pub shard_size: Option<usize>,
+    /// Time-stepping strategy (`global` | `lts`; defaults to the process
+    /// default, i.e. `ADERDG_STEPPING` or `global`). `lts` runs
+    /// clustered local time stepping — coarse dt-clusters take fewer,
+    /// longer sub-steps per macro cycle.
+    pub stepping: SteppingMode,
 }
 
 impl std::fmt::Debug for SolverSpec {
@@ -143,6 +148,7 @@ impl std::fmt::Debug for SolverSpec {
             .field("tuning", &self.tuning)
             .field("pipeline", &self.pipeline)
             .field("shard_size", &self.shard_size)
+            .field("stepping", &self.stepping)
             .finish()
     }
 }
@@ -160,6 +166,7 @@ impl PartialEq for SolverSpec {
             && self.tuning == other.tuning
             && self.pipeline == other.pipeline
             && self.shard_size == other.shard_size
+            && self.stepping == other.stepping
     }
 }
 
@@ -179,6 +186,7 @@ impl Default for SolverSpec {
             tuning: TuningMode::default(),
             pipeline: PipelineMode::default_from_env(),
             shard_size: None,
+            stepping: SteppingMode::default_from_env(),
         }
     }
 }
@@ -261,6 +269,10 @@ impl SolverSpec {
                         ))
                     })?;
                 }
+                "stepping" => {
+                    spec.stepping = SteppingMode::parse(value)
+                        .ok_or_else(|| err(format!("unknown stepping `{value}` (global|lts)")))?;
+                }
                 other => {
                     return Err(err(format!("unknown key `{other}`")));
                 }
@@ -295,6 +307,7 @@ impl SolverSpec {
         cfg.tuning = self.tuning;
         cfg.pipeline = self.pipeline;
         cfg.shard_size = self.shard_size;
+        cfg.stepping = self.stepping;
         cfg
     }
 }
@@ -356,6 +369,20 @@ mod tests {
         }
         let e = SolverSpec::parse("pipeline = warp\n").unwrap_err();
         assert!(e.message.contains("barrier|sharded"));
+    }
+
+    #[test]
+    fn stepping_parses_and_rejects_unknown() {
+        for (text, mode) in [
+            ("stepping = global\n", SteppingMode::Global),
+            ("stepping = lts\n", SteppingMode::Lts),
+        ] {
+            let spec = SolverSpec::parse(text).unwrap();
+            assert_eq!(spec.stepping, mode);
+            assert_eq!(spec.engine_config().stepping, mode);
+        }
+        let e = SolverSpec::parse("stepping = warp\n").unwrap_err();
+        assert!(e.message.contains("global|lts"));
     }
 
     #[test]

@@ -11,9 +11,11 @@
 #![warn(missing_docs)]
 
 pub mod curvilinear;
+pub mod lts;
 pub mod shard;
 pub mod structured;
 
 pub use curvilinear::{invert3, CurvilinearMap, IdentityMap, InterfaceFittedMap, SineDeformation};
+pub use lts::{assign_levels, LtsGraph, LtsTask, MAX_LTS_LEVEL};
 pub use shard::{FaceTopo, ShardPlan};
 pub use structured::{BoundaryKind, Face, Neighbor, StructuredMesh};

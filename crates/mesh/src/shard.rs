@@ -63,11 +63,29 @@ const UNSET: usize = usize::MAX;
 /// Shards are contiguous cell ranges of (at most) `shard_size` cells;
 /// the last shard may be shorter. Every distinct face of the mesh gets
 /// one id; ids are grouped so each shard's owned faces are contiguous.
+///
+/// [`ShardPlan::with_levels`] additionally makes the partition
+/// **cluster-aware** for local time stepping: shards are cut at every
+/// level change (so a shard is level-uniform,
+/// [`shard_level`](ShardPlan::shard_level)), and every face carries a
+/// [`cadence`](ShardPlan::face_cadence) — the finer adjacent cell's
+/// level, i.e. how often the face must be re-solved.
 #[derive(Debug, Clone)]
 pub struct ShardPlan {
     shard_size: usize,
     num_cells: usize,
     num_shards: usize,
+    /// Shard boundaries: shard `s` holds cells
+    /// `shard_starts[s]..shard_starts[s + 1]`.
+    shard_starts: Vec<usize>,
+    /// Per-shard cluster level (all zero for [`ShardPlan::new`]).
+    shard_level: Vec<u8>,
+    /// Per-face update cadence: `min` of the adjacent cells' levels
+    /// (the cell's own level for a boundary face).
+    face_cadence: Vec<u8>,
+    /// Distinct cluster levels present (`max level + 1`; `1` for a
+    /// single-cluster plan).
+    num_levels: usize,
     /// Canonical faces, ordered by owner shard (then by owner cell, then
     /// by the cell's slot order).
     faces: Vec<FaceTopo>,
@@ -94,10 +112,51 @@ impl ShardPlan {
     /// # Panics
     /// If `shard_size` is zero.
     pub fn new(mesh: &StructuredMesh, shard_size: usize) -> Self {
+        Self::build(mesh, shard_size, None)
+    }
+
+    /// Like [`ShardPlan::new`], but cluster-aware: `levels[c]` is cell
+    /// `c`'s local-time-stepping level, shard boundaries are cut at
+    /// every level change **in addition to** the `shard_size` grid (so
+    /// every shard is level-uniform), and each face records its update
+    /// cadence. With all levels zero the partition is identical to
+    /// [`ShardPlan::new`]'s.
+    ///
+    /// # Panics
+    /// If `shard_size` is zero or `levels` is not one entry per cell.
+    pub fn with_levels(mesh: &StructuredMesh, shard_size: usize, levels: &[u8]) -> Self {
+        assert_eq!(
+            levels.len(),
+            mesh.num_cells(),
+            "one cluster level per mesh cell"
+        );
+        Self::build(mesh, shard_size, Some(levels))
+    }
+
+    fn build(mesh: &StructuredMesh, shard_size: usize, levels: Option<&[u8]>) -> Self {
         assert!(shard_size >= 1, "shard size must be at least 1");
         let num_cells = mesh.num_cells();
-        let num_shards = num_cells.div_ceil(shard_size);
-        let shard_of = |cell: usize| cell / shard_size;
+        let level_of = |cell: usize| levels.map_or(0, |l| l[cell]);
+
+        // Shard boundaries: every `shard_size` cells, restarting the
+        // count at each cluster-level change so shards never span
+        // levels. Without levels this reduces to multiples of
+        // `shard_size` — the exact partition `new` always produced.
+        let mut shard_starts = Vec::new();
+        let mut run = 0usize;
+        for c in 0..num_cells {
+            if c == 0 || run == shard_size || level_of(c) != level_of(c - 1) {
+                shard_starts.push(c);
+                run = 0;
+            }
+            run += 1;
+        }
+        shard_starts.push(num_cells);
+        let num_shards = shard_starts.len() - 1;
+        let shard_level: Vec<u8> = (0..num_shards).map(|s| level_of(shard_starts[s])).collect();
+        let num_levels = shard_level.iter().max().map_or(1, |&l| l as usize + 1);
+        let shard_of =
+            |cell: usize| shard_starts.partition_point(|&start| start <= cell).max(1) - 1;
 
         let mut faces = Vec::with_capacity(3 * num_cells);
         let mut cell_faces = vec![[UNSET; 6]; num_cells];
@@ -109,9 +168,11 @@ impl ShardPlan {
         // visit: interior faces at their lower cell (slot side 1),
         // boundary faces at their only cell. Cells ascend, so the ids of
         // one shard's owned faces come out contiguous.
+        let mut next_shard = 0;
         for c in 0..num_cells {
-            if c % shard_size == 0 {
+            if shard_starts[next_shard] == c {
                 face_start.push(faces.len());
+                next_shard += 1;
             }
             for face in Face::ALL {
                 let slot = face.index();
@@ -186,10 +247,24 @@ impl ShardPlan {
             deps.dedup();
         }
 
+        // A face's update cadence is the finer adjacent cell's level:
+        // it must be re-solved whenever either side starts a sub-step.
+        let face_cadence: Vec<u8> = faces
+            .iter()
+            .map(|f| match *f {
+                FaceTopo::Interior { lower, upper, .. } => level_of(lower).min(level_of(upper)),
+                FaceTopo::Boundary { cell, .. } => level_of(cell),
+            })
+            .collect();
+
         Self {
             shard_size,
             num_cells,
             num_shards,
+            shard_starts,
+            shard_level,
+            face_cadence,
+            num_levels,
             faces,
             cell_faces,
             face_start,
@@ -200,7 +275,8 @@ impl ShardPlan {
         }
     }
 
-    /// Cells per shard (the last shard may hold fewer).
+    /// Nominal cells per shard: no shard exceeds this, but level changes
+    /// (cluster-aware plans) and the mesh end may cut shards shorter.
     pub fn shard_size(&self) -> usize {
         self.shard_size
     }
@@ -217,14 +293,32 @@ impl ShardPlan {
 
     /// The contiguous cell range of shard `s`.
     pub fn shard_range(&self, s: usize) -> Range<usize> {
-        let start = s * self.shard_size;
-        start..((start + self.shard_size).min(self.num_cells))
+        self.shard_starts[s]..self.shard_starts[s + 1]
     }
 
     /// The shard containing `cell`.
     pub fn shard_of(&self, cell: usize) -> usize {
         debug_assert!(cell < self.num_cells);
-        cell / self.shard_size
+        self.shard_starts.partition_point(|&start| start <= cell) - 1
+    }
+
+    /// The cluster level of shard `s`'s cells (always `0` for plans
+    /// built by [`ShardPlan::new`]).
+    pub fn shard_level(&self, s: usize) -> u8 {
+        self.shard_level[s]
+    }
+
+    /// Face `id`'s update cadence: the finer adjacent cell's level.
+    /// The face is re-solved at every base sub-step divisible by
+    /// `2^cadence`.
+    pub fn face_cadence(&self, id: usize) -> u8 {
+        self.face_cadence[id]
+    }
+
+    /// Distinct cluster levels present: `max shard level + 1` (`1` for
+    /// a single-cluster plan).
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
     }
 
     /// Total number of canonical faces (interior + boundary).

@@ -555,6 +555,50 @@ pub fn smoke(log: &mut dyn Write) -> Result<(), String> {
         let _ = writeln!(log, "serve smoke: pause/checkpoint/resume series matches");
         let _ = std::fs::remove_file(&ck);
 
+        // The same pause/resume round trip under clustered local time
+        // stepping, on the dt-heterogeneous scenario: the checkpoint must
+        // carry the per-cluster clocks so the resumed macro cycle replays
+        // bit-for-bit (see docs/LTS.md).
+        let ck_lts = dir.join(format!(
+            "aderdg-serve-smoke-lts-{}.ckpt",
+            std::process::id()
+        ));
+        let ck_lts_str = ck_lts.display();
+        let paused = submit(
+            &mut client,
+            &format!(
+                "SUBMIT acoustic_layered smoke=true tuning=static stepping=lts \
+                 pause_at_step=1 save_checkpoint={ck_lts_str}"
+            ),
+        )?;
+        if wait_status(&mut client, &paused)? != "paused" {
+            return Err(format!("LTS job {paused} did not pause at step 1"));
+        }
+        let resumed = submit(&mut client, &format!("RESUME {ck_lts_str}"))?;
+        if wait_status(&mut client, &resumed)? != "done" {
+            return Err(format!("resumed LTS job {resumed} did not finish"));
+        }
+        let full = submit(
+            &mut client,
+            "SUBMIT acoustic_layered smoke=true tuning=static stepping=lts",
+        )?;
+        if wait_status(&mut client, &full)? != "done" {
+            return Err(format!("reference LTS job {full} did not finish"));
+        }
+        let resumed_series = series(&mut client, &resumed)?;
+        let full_series = series(&mut client, &full)?;
+        if resumed_series != full_series {
+            return Err(format!(
+                "resumed LTS series differs from the uninterrupted run: \
+                 {resumed_series:?} vs {full_series:?}"
+            ));
+        }
+        let _ = writeln!(
+            log,
+            "serve smoke: LTS pause/checkpoint/resume series matches"
+        );
+        let _ = std::fs::remove_file(&ck_lts);
+
         let reply = client.cmd("SHUTDOWN").map_err(io_err)?;
         if reply != Ok("shutting down".to_string()) {
             return Err(format!("SHUTDOWN answered {reply:?}"));

@@ -30,7 +30,7 @@
 //! step (and the non-conserved rows visibly drift, keeping the test
 //! non-vacuous).
 
-use aderdg::core::{Engine, EngineConfig, PipelineMode};
+use aderdg::core::{Engine, EngineConfig, PipelineMode, SteppingMode};
 use aderdg::mesh::{BoundaryKind, StructuredMesh};
 use aderdg::pde::{
     acoustic, elastic, maxwell, swe, Acoustic, AdvectionSystem, Elastic, LinearPde, LinearizedSwe,
@@ -61,6 +61,37 @@ fn run<P: LinearPde>(
         let dt = engine.max_dt();
         engine.step(dt);
     }
+    (i0, engine.integrals(), n0, engine.l2_norm())
+}
+
+/// Runs the same matrix row under `stepping = lts` on a [4, 3, 3] mesh —
+/// the caller's `init` layers the material so the left half of the
+/// domain is faster, the per-cell stable dt splits 2:1, and a cluster
+/// boundary sits in the domain interior. The conservation telescoping
+/// must survive it: at a cadence-mismatched face the two fine-window
+/// `F*` are accumulated and the coarse cell applies their sum, so the
+/// face contribution still cancels exactly between its two cells.
+/// Asserts multi-level clustering actually happened (a single level
+/// would degenerate to the global path and test nothing new).
+fn run_lts<P: LinearPde>(
+    pde: P,
+    boundary: BoundaryKind,
+    init: impl Fn([f64; 3], &mut [f64]) + Sync,
+) -> (Vec<f64>, Vec<f64>, f64, f64) {
+    let mesh = StructuredMesh::new([4, 3, 3], [0.0; 3], [1.0; 3], [boundary; 3]);
+    let config = EngineConfig::new(3).with_stepping(SteppingMode::Lts);
+    let mut engine = Engine::new(mesh, pde, config);
+    engine.set_initial(init);
+    let i0 = engine.integrals();
+    let n0 = engine.l2_norm();
+    for _ in 0..6 {
+        let dt = engine.max_dt();
+        engine.step(dt);
+    }
+    assert!(
+        engine.lts_clocks().len() >= 2,
+        "layered medium must produce multi-level clustering"
+    );
     (i0, engine.integrals(), n0, engine.l2_norm())
 }
 
@@ -131,6 +162,68 @@ fn acoustic_rigid_wall_conserves_pressure_only() {
     // flux of p (= -K u_n averaged with its negation) vanishes exactly,
     // while the velocity rows feel the wall pressure.
     check("acoustic reflective", r, &[acoustic::P], true, true);
+}
+
+#[test]
+fn acoustic_layered_lts_periodic_conserves_every_quantity() {
+    // 4:1 bulk contrast (2:1 sound speed) at unit density: every row is
+    // flux-form (the u-flux is ∇p at ρ = 1), so all four integrals must
+    // telescope to round-off across the cluster boundary too.
+    let r = run_lts(Acoustic, BoundaryKind::Periodic, |x, q| {
+        q.fill(0.0);
+        q[acoustic::P] = bump(x);
+        let bulk = if x[0] < 0.5 { 4.0 } else { 1.0 };
+        Acoustic::set_params(q, 1.0, bulk);
+    });
+    // bulk ≠ 1 breaks unit impedance, so the L2 norm is no longer the
+    // energy — require boundedness, not monotonicity.
+    check(
+        "acoustic layered lts periodic",
+        r,
+        &[0, 1, 2, 3],
+        false,
+        false,
+    );
+}
+
+#[test]
+fn acoustic_layered_lts_rigid_wall_conserves_pressure_only() {
+    let r = run_lts(Acoustic, BoundaryKind::Reflective, |x, q| {
+        q.fill(0.0);
+        q[acoustic::P] = bump(x);
+        let bulk = if x[0] < 0.5 { 4.0 } else { 1.0 };
+        Acoustic::set_params(q, 1.0, bulk);
+    });
+    check(
+        "acoustic layered lts reflective",
+        r,
+        &[acoustic::P],
+        true,
+        false,
+    );
+}
+
+#[test]
+fn swe_layered_lts_conserves_the_flux_form_elevation() {
+    // Depth 4 vs 1 at g = 1: gravity-wave speeds 2:1. Only η is
+    // flux-form (see the periodic SWE row above) and its integral must
+    // hold to round-off across the cluster boundary, under both
+    // boundary kinds.
+    for boundary in [BoundaryKind::Periodic, BoundaryKind::Reflective] {
+        let r = run_lts(LinearizedSwe, boundary, |x, q| {
+            q.fill(0.0);
+            q[swe::ETA] = bump(x);
+            let depth = if x[0] < 0.5 { 4.0 } else { 1.0 };
+            LinearizedSwe::set_params(q, depth, 1.0);
+        });
+        check(
+            &format!("swe layered lts {boundary:?}"),
+            r,
+            &[swe::ETA],
+            true,
+            false,
+        );
+    }
 }
 
 #[test]

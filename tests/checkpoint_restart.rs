@@ -14,7 +14,7 @@ use aderdg::core::scenario::{
     ScenarioParts, ScenarioRegistry,
 };
 use aderdg::core::tune::TuningMode;
-use aderdg::core::{Engine, EngineConfig, PipelineMode};
+use aderdg::core::{Engine, EngineConfig, PipelineMode, SteppingMode};
 use aderdg::mesh::StructuredMesh;
 use aderdg::pde::{Acoustic, AdvectionSystem};
 use std::path::PathBuf;
@@ -105,6 +105,82 @@ fn engine_state_round_trips_bit_identically_and_continues() {
     par::set_pool_mode(mode_before);
 }
 
+/// LTS engine-level round trip: the checkpoint must carry the
+/// per-cluster clocks, and a restored engine must rebuild the identical
+/// clustering from the restored state — so both the restored clocks and
+/// the *future* (two more macro cycles) are bit-identical. The layered
+/// bulk makes the run genuinely multi-level.
+#[test]
+fn lts_state_round_trips_with_cluster_clocks_and_continues() {
+    let _guard = THREAD_KNOB.lock().unwrap();
+    let seeded = || {
+        let config = EngineConfig::new(3)
+            .with_tuning(TuningMode::Static)
+            .with_stepping(SteppingMode::Lts);
+        let mesh = StructuredMesh::new(
+            [4, 3, 3],
+            [0.0; 3],
+            [1.0; 3],
+            [aderdg::mesh::BoundaryKind::Reflective; 3],
+        );
+        let mut engine = Engine::new(mesh, Acoustic, config);
+        engine.set_initial(|x, q| {
+            q.fill(0.0);
+            let r2: f64 = x.iter().map(|&c| (c - 0.6) * (c - 0.6)).sum();
+            q[0] = (-r2 / (2.0 * 0.2 * 0.2)).exp();
+            let bulk = if x[0] < 0.5 { 4.0 } else { 1.0 };
+            Acoustic::set_params(q, 1.0, bulk);
+        });
+        engine.add_receiver([0.7, 0.5, 0.5]);
+        engine
+    };
+    let mut original = seeded();
+    let dt = original.max_dt() * 0.5;
+    original.step(dt);
+    original.step(dt);
+    assert!(
+        original.lts_clocks().len() >= 2,
+        "layered medium must produce multi-level clustering"
+    );
+    let saved = original.save_state();
+
+    let mut restored = seeded();
+    restored.restore_state(&saved).expect("restore");
+    assert_eq!(restored.steps, original.steps);
+    assert_eq!(
+        restored.lts_clocks().len(),
+        original.lts_clocks().len(),
+        "cluster clock count differs after restore"
+    );
+    for (level, (a, b)) in original
+        .lts_clocks()
+        .iter()
+        .zip(restored.lts_clocks())
+        .enumerate()
+    {
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "level {level} clock time");
+        assert_eq!(a.1, b.1, "level {level} sub-step count");
+    }
+    assert_eq!(
+        state_bits(&restored),
+        state_bits(&original),
+        "restored DOFs differ"
+    );
+
+    original.step(dt);
+    original.step(dt);
+    restored.step(dt);
+    restored.step(dt);
+    assert_eq!(
+        state_bits(&restored),
+        state_bits(&original),
+        "LTS evolution diverges after restore"
+    );
+    for (a, b) in original.receivers.iter().zip(&restored.receivers) {
+        assert_eq!(a.records, b.records, "receiver traces differ");
+    }
+}
+
 fn tmp(label: &str) -> PathBuf {
     std::env::temp_dir().join(format!("aderdg-ckpt-{}-{label}.ckpt", std::process::id()))
 }
@@ -182,6 +258,64 @@ fn paused_and_resumed_run_matches_uninterrupted_bit_for_bit() {
                 let _ = std::fs::remove_file(path);
             }
         }
+    }
+}
+
+/// LTS scenario-level round trip through real files on the layered
+/// medium: the checkpoint codec carries the per-cluster clocks, so a run
+/// paused mid-way through a clustered schedule and resumed must produce
+/// a checkpoint byte-for-byte identical to the uninterrupted reference.
+#[test]
+fn lts_paused_and_resumed_run_matches_uninterrupted_bit_for_bit() {
+    let scenario = ScenarioRegistry::global()
+        .resolve("acoustic_layered")
+        .expect("acoustic_layered registered");
+    let run = |req: RunRequest| scenario.run(&req).expect("run succeeds");
+    let lts_request = || {
+        let mut req = base_request("splitck", "sharded");
+        assert!(req.set("stepping", "lts").unwrap(), "unknown key stepping");
+        req
+    };
+    let full_ck = tmp("lts-full");
+    let pause_ck = tmp("lts-pause");
+    let resumed_ck = tmp("lts-resumed");
+
+    // Uninterrupted reference.
+    let mut req = lts_request();
+    req.save_checkpoint = Some(full_ck.clone());
+    let full = run(req);
+    assert!(!full.paused);
+
+    // Pause after one macro cycle, checkpoint, resume to the end.
+    let mut req = lts_request();
+    req.save_checkpoint = Some(pause_ck.clone());
+    let control = Arc::new(RunControl::new());
+    control.pause_at_step(1);
+    req.control = Some(control);
+    let paused = run(req);
+    assert!(paused.paused, "run did not pause");
+    assert_eq!(paused.steps, 1);
+
+    let ck = Checkpoint::load(&pause_ck).expect("load pause checkpoint");
+    let mut req = ck.to_request().expect("replay knobs");
+    req.save_checkpoint = Some(resumed_ck.clone());
+    req.resume = Some(Arc::new(ck));
+    let resumed = run(req);
+    assert!(!resumed.paused, "resume did not finish");
+
+    let full_bytes = std::fs::read(&full_ck).unwrap();
+    let resumed_bytes = std::fs::read(&resumed_ck).unwrap();
+    assert_eq!(
+        full_bytes, resumed_bytes,
+        "LTS resumed checkpoint differs from the uninterrupted one"
+    );
+    assert_eq!(full.steps, resumed.steps);
+    for (a, b) in full.series.iter().zip(&resumed.series) {
+        assert_eq!(a.t.to_bits(), b.t.to_bits());
+        assert_eq!(a.l2_norm.to_bits(), b.l2_norm.to_bits());
+    }
+    for path in [&full_ck, &pause_ck, &resumed_ck] {
+        let _ = std::fs::remove_file(path);
     }
 }
 

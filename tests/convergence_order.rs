@@ -9,9 +9,11 @@
 //! high orders hit round-off there — so each order measures its rate on
 //! the appropriate refinement step, exactly as in the example.
 
-use aderdg::core::{Engine, EngineConfig, KernelVariant};
+use aderdg::core::{Engine, EngineConfig, KernelVariant, SteppingMode};
 use aderdg::mesh::StructuredMesh;
-use aderdg::pde::{AdvectedSine, AdvectionSystem, ExactSolution};
+use aderdg::pde::{
+    AdvectedSine, AdvectionSystem, ExactSolution, RotatingAdvection, RotatingGaussian,
+};
 
 fn l2_error(order: usize, cells: usize) -> f64 {
     let velocity = [0.7, 0.4, 0.2];
@@ -42,6 +44,75 @@ fn observed_rate(order: usize) -> (f64, f64, f64) {
         (e4, e8, (e4 / e8).log2())
     } else {
         (e2, e4, (e2 / e4).log2())
+    }
+}
+
+/// L2 error of the solid-body rotation patch under the given stepping
+/// mode. The velocity field `v = ω ẑ × (x − c)` makes the per-cell
+/// stable dt genuinely heterogeneous (slow near the centre, fast at the
+/// corners), so under LTS the engine buckets the mesh into several dt
+/// levels and the sub-window face coupling is exercised for real — the
+/// returned level count asserts that.
+fn rotation_l2_error(order: usize, cells: usize, stepping: SteppingMode) -> (f64, usize) {
+    let omega = std::f64::consts::FRAC_PI_2;
+    let center = [0.5, 0.5, 0.5];
+    let pde = RotatingAdvection { omega, center };
+    let exact = RotatingGaussian {
+        omega,
+        center,
+        start: [0.7, 0.5, 0.5],
+        sigma: 0.1,
+        amplitude: 1.0,
+    };
+    let mesh = StructuredMesh::unit_cube(cells);
+    let mut engine = Engine::new(
+        mesh,
+        pde,
+        EngineConfig::new(order)
+            .with_variant(KernelVariant::SplitCk)
+            .with_stepping(stepping),
+    );
+    engine.set_initial(|x, q| {
+        exact.evaluate(x, 0.0, q);
+        RotatingAdvection::set_params(q, omega, center, x);
+    });
+    engine.run_until(0.2);
+    (engine.l2_error(&exact), engine.lts_clocks().len())
+}
+
+#[test]
+fn lts_converges_at_design_rate_on_heterogeneous_dt() {
+    for order in [3usize, 4] {
+        let mut errs = [0.0f64; 2];
+        for (i, cells) in [4usize, 8].into_iter().enumerate() {
+            let (eg, _) = rotation_l2_error(order, cells, SteppingMode::Global);
+            let (el, levels) = rotation_l2_error(order, cells, SteppingMode::Lts);
+            // The workload must actually cluster — a single level would
+            // degenerate to the global path and test nothing new.
+            assert!(
+                levels >= 2,
+                "order {order}, {cells}³: expected multi-level clustering, got {levels} levels"
+            );
+            // LTS must not degrade accuracy: whatever error the global
+            // scheme reaches on this grid (the workload floors at the
+            // outflow tails before the dt discretization matters), the
+            // clustered run must match it closely.
+            assert!(
+                (el - eg).abs() <= 0.05 * eg,
+                "order {order}, {cells}³: LTS error {el:.4e} deviates from global {eg:.4e}"
+            );
+            errs[i] = el;
+        }
+        // And the LTS errors themselves must refine at the design rate
+        // wherever the workload supports it (order 4 saturates on the
+        // outflow-tail floor at 8³ — the global-match assertion above
+        // carries that case, the rate margin here reflects it).
+        let rate = (errs[0] / errs[1]).log2();
+        let margin = if order == 3 { 0.8 } else { 1.5 };
+        assert!(
+            rate > order as f64 - margin,
+            "order {order}: observed LTS rate {rate:.2} below design order"
+        );
     }
 }
 

@@ -10,7 +10,7 @@
 use aderdg::core::riemann::{
     flux_solve_count, flux_solve_counting_enabled, reset_flux_solve_count,
 };
-use aderdg::core::{Engine, EngineConfig, PipelineMode};
+use aderdg::core::{Engine, EngineConfig, PipelineMode, SteppingMode};
 use aderdg::mesh::{BoundaryKind, StructuredMesh};
 use aderdg::pde::Acoustic;
 
@@ -37,10 +37,15 @@ fn sharded_step_solves_each_face_exactly_once() {
         return;
     }
 
-    // Fully periodic cube: 3·cells interior faces, no boundary.
+    // Fully periodic cube: 3·cells interior faces, no boundary. The
+    // counts are a *pipeline* contract, so pin `stepping = global`
+    // against the `ADERDG_STEPPING=lts` CI leg (under which `pipeline`
+    // is ignored and the barrier count would never materialize).
     let cells = 27;
     let barrier = step_solves(
-        EngineConfig::new(3).with_pipeline(PipelineMode::Barrier),
+        EngineConfig::new(3)
+            .with_stepping(SteppingMode::Global)
+            .with_pipeline(PipelineMode::Barrier),
         StructuredMesh::unit_cube(3),
     );
     assert_eq!(
@@ -50,6 +55,7 @@ fn sharded_step_solves_each_face_exactly_once() {
     );
     let sharded = step_solves(
         EngineConfig::new(3)
+            .with_stepping(SteppingMode::Global)
             .with_pipeline(PipelineMode::Sharded)
             .with_shard_size(4),
         StructuredMesh::unit_cube(3),
@@ -59,6 +65,15 @@ fn sharded_step_solves_each_face_exactly_once() {
         3 * cells,
         "once-per-face path halves the interior solves"
     );
+    // Degenerate LTS (uniform medium ⇒ one cluster, one slot per macro
+    // cycle) inherits the once-per-face count exactly.
+    let lts = step_solves(
+        EngineConfig::new(3)
+            .with_stepping(SteppingMode::Lts)
+            .with_shard_size(4),
+        StructuredMesh::unit_cube(3),
+    );
+    assert_eq!(lts, 3 * cells, "degenerate LTS solves each face once");
 
     // Mixed boundaries: interior + boundary faces, straight from the
     // shard plan's canonical face index.
@@ -72,7 +87,9 @@ fn sharded_step_solves_each_face_exactly_once() {
             BoundaryKind::Periodic,
         ],
     );
-    let config = EngineConfig::new(3).with_pipeline(PipelineMode::Sharded);
+    let config = EngineConfig::new(3)
+        .with_stepping(SteppingMode::Global)
+        .with_pipeline(PipelineMode::Sharded);
     let engine = Engine::new(mesh.clone(), Acoustic, config);
     let splan = engine
         .shard_plan()
